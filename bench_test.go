@@ -1,0 +1,263 @@
+// Benchmark harness: one testing.B benchmark per paper figure/table
+// (see DESIGN.md §3 for the index). The figure benchmarks execute the
+// same drivers as cmd/zipserv-figures, so `go test -bench=.` both
+// times the reproduction machinery and regenerates every result; the
+// Benchmark*Functional entries measure the real codec and kernel
+// implementations on this machine.
+package zipserv_test
+
+import (
+	"testing"
+
+	"zipserv"
+	"zipserv/internal/bench"
+)
+
+var tableSink *bench.Table
+
+func BenchmarkFig01PipelineGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig01()
+	}
+}
+
+func BenchmarkFig02ExponentDist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig02()
+	}
+}
+
+func BenchmarkFig05Roofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig05()
+	}
+}
+
+func BenchmarkFig11KernelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig11("L40S")
+	}
+}
+
+func BenchmarkFig11LayerWise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig11c()
+	}
+}
+
+func BenchmarkFig12MicroAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig12()
+	}
+}
+
+func BenchmarkFig13Decompress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig13()
+	}
+}
+
+func BenchmarkFig14CrossGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig14()
+	}
+}
+
+func BenchmarkFig15NSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig15()
+	}
+}
+
+func BenchmarkFig16EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig16(true)
+	}
+}
+
+func BenchmarkFig17Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig17()
+	}
+}
+
+func BenchmarkFig18TrainingGPUs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.Fig18()
+	}
+}
+
+func BenchmarkE31Compressibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E31()
+	}
+}
+
+func BenchmarkE42CodewordLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E42()
+	}
+}
+
+func BenchmarkE64Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E64()
+	}
+}
+
+func BenchmarkE65Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E65()
+	}
+}
+
+func BenchmarkE7LossyGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E7()
+	}
+}
+
+func BenchmarkAblationBitmapLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.AblationA1()
+	}
+}
+
+func BenchmarkAblationCodewordLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.AblationA2()
+	}
+}
+
+func BenchmarkAblationStageAware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.AblationA3()
+	}
+}
+
+func BenchmarkAblationPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.AblationA4()
+	}
+}
+
+func BenchmarkAblationWindowSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.AblationA5()
+	}
+}
+
+// ---- Functional benchmarks: the real Go implementations ----
+
+var (
+	matSink  *zipserv.Matrix
+	resSink  *zipserv.Result
+	compSink *zipserv.Compressed
+)
+
+func benchWeights(b *testing.B, n int) *zipserv.Matrix {
+	b.Helper()
+	return zipserv.GaussianWeights(n, n, 0.02, 1)
+}
+
+func BenchmarkFunctionalCompress(b *testing.B) {
+	w := benchWeights(b, 512)
+	b.SetBytes(int64(w.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw, err := zipserv.Compress(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compSink = cw
+	}
+}
+
+func BenchmarkFunctionalDecompress(b *testing.B) {
+	w := benchWeights(b, 512)
+	cw, err := zipserv.Compress(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(w.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := zipserv.Decompress(cw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matSink = m
+	}
+}
+
+func BenchmarkFunctionalZipGEMM(b *testing.B) {
+	w := benchWeights(b, 512)
+	cw, err := zipserv.Compress(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := zipserv.NewMatrix(512, 32)
+	for i := range x.Data {
+		x.Data[i] = zipserv.FromFloat32(float32(i % 9))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, err := zipserv.ZipGEMM(cw, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resSink = y
+	}
+}
+
+func BenchmarkFunctionalDenseGEMM(b *testing.B) {
+	w := benchWeights(b, 512)
+	x := zipserv.NewMatrix(512, 32)
+	for i := range x.Data {
+		x.Data[i] = zipserv.FromFloat32(float32(i % 9))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, err := zipserv.GEMM(w, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resSink = y
+	}
+}
+
+func BenchmarkFunctionalBaselineCodecs(b *testing.B) {
+	w := benchWeights(b, 256)
+	for _, name := range zipserv.CodecNames() {
+		c, err := zipserv.NewCodec(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(w.SizeBytes()))
+			for i := 0; i < b.N; i++ {
+				blob, err := c.Compress(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := blob.Decompress()
+				if err != nil {
+					b.Fatal(err)
+				}
+				matSink = m
+			}
+		})
+	}
+}
+
+func BenchmarkE32WarpDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E32Divergence()
+	}
+}
+
+func BenchmarkE7bLossyComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tableSink = bench.E7b()
+	}
+}

@@ -1,0 +1,134 @@
+// Command zipserv-compress is the offline TCA-TBE compressor CLI: it
+// converts raw BF16 weight files (little-endian uint16 stream) to and
+// from the .ztbe format, the checkpoint-compression utility of the
+// paper's §7. With -demo it generates a synthetic layer instead of
+// reading a file, so the tool runs without any model download.
+//
+// Usage:
+//
+//	zipserv-compress -in weights.bin -rows 4096 -cols 4096 -out weights.ztbe
+//	zipserv-compress -decompress -in weights.ztbe -out weights.bin
+//	zipserv-compress -demo -rows 4096 -cols 4096 -out demo.ztbe
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zipserv"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (raw BF16 or .ztbe with -decompress)")
+	out := flag.String("out", "", "output file")
+	rows := flag.Int("rows", 0, "matrix rows (raw input)")
+	cols := flag.Int("cols", 0, "matrix cols (raw input)")
+	decompress := flag.Bool("decompress", false, "decompress a .ztbe file back to raw BF16")
+	demo := flag.Bool("demo", false, "compress a synthetic Gaussian layer instead of reading -in")
+	sigma := flag.Float64("sigma", 0.02, "weight sigma for -demo")
+	flag.Parse()
+
+	if err := run(*in, *out, *rows, *cols, *decompress, *demo, *sigma); err != nil {
+		fmt.Fprintln(os.Stderr, "zipserv-compress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, rows, cols int, decompress, demo bool, sigma float64) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	switch {
+	case decompress:
+		if in == "" {
+			return fmt.Errorf("-in is required with -decompress")
+		}
+		return decompressFile(in, out)
+	case demo:
+		if rows <= 0 || cols <= 0 {
+			rows, cols = 4096, 4096
+		}
+		m := zipserv.GaussianWeights(rows, cols, sigma, 1)
+		return compressMatrix(m, out)
+	default:
+		if in == "" || rows <= 0 || cols <= 0 {
+			return fmt.Errorf("-in, -rows and -cols are required (or use -demo)")
+		}
+		m, err := readRawBF16(in, rows, cols)
+		if err != nil {
+			return err
+		}
+		return compressMatrix(m, out)
+	}
+}
+
+func compressMatrix(m *zipserv.Matrix, out string) error {
+	start := time.Now()
+	cm, err := zipserv.Compress(m)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := zipserv.WriteCompressed(f, cm); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %dx%d: %d -> %d bytes (%.3fx, %.2f bits/elem) in %v\n",
+		m.Rows, m.Cols, m.SizeBytes(), cm.SizeBytes(), cm.CompressionRatio(),
+		cm.BitsPerElement(), elapsed.Round(time.Millisecond))
+	fmt.Printf("window coverage %.2f%%, base exponent %d\n", cm.CoverageRatio()*100, cm.BaseExp)
+	return f.Sync()
+}
+
+func decompressFile(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cm, err := zipserv.ReadCompressed(f)
+	if err != nil {
+		return err
+	}
+	m, err := zipserv.Decompress(cm)
+	if err != nil {
+		return err
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer o.Close()
+	buf := make([]byte, 2*len(m.Data))
+	for i, w := range m.Data {
+		binary.LittleEndian.PutUint16(buf[2*i:], w.Bits())
+	}
+	if _, err := o.Write(buf); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed to %dx%d raw BF16 (%d bytes), bit-exact\n", m.Rows, m.Cols, len(buf))
+	return o.Sync()
+}
+
+func readRawBF16(path string, rows, cols int) (*zipserv.Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != 2*rows*cols {
+		return nil, fmt.Errorf("%s holds %d bytes, want %d for %dx%d BF16", path, len(data), 2*rows*cols, rows, cols)
+	}
+	m := zipserv.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = zipserv.BF16(binary.LittleEndian.Uint16(data[2*i:]))
+	}
+	return m, nil
+}

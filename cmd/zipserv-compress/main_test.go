@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zipserv"
+)
+
+func TestDemoCompressAndDecompressRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ztbe := filepath.Join(dir, "demo.ztbe")
+	raw := filepath.Join(dir, "demo.bin")
+
+	if err := run("", ztbe, 128, 192, false, true, 0.02); err != nil {
+		t.Fatalf("demo compress: %v", err)
+	}
+	if fi, err := os.Stat(ztbe); err != nil || fi.Size() == 0 {
+		t.Fatalf("no output written: %v", err)
+	}
+	if err := run(ztbe, raw, 0, 0, true, false, 0); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+
+	// The raw output must equal the generator's matrix bit-for-bit.
+	want := zipserv.GaussianWeights(128, 192, 0.02, 1)
+	data, err := os.ReadFile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != want.SizeBytes() {
+		t.Fatalf("raw output %d bytes, want %d", len(data), want.SizeBytes())
+	}
+	for i, w := range want.Data {
+		if binary.LittleEndian.Uint16(data[2*i:]) != w.Bits() {
+			t.Fatalf("raw output differs at element %d", i)
+		}
+	}
+}
+
+func TestCompressRawFile(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.ztbe")
+
+	m := zipserv.GaussianWeights(64, 64, 0.02, 7)
+	buf := make([]byte, m.SizeBytes())
+	for i, w := range m.Data {
+		binary.LittleEndian.PutUint16(buf[2*i:], w.Bits())
+	}
+	if err := os.WriteFile(raw, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(raw, out, 64, 64, false, false, 0); err != nil {
+		t.Fatalf("compress raw: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cm, err := zipserv.ReadCompressed(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := zipserv.Decompress(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("compressed file does not round-trip")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", "", 0, 0, false, true, 0.02); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("", filepath.Join(dir, "x"), 0, 0, true, false, 0); err == nil {
+		t.Error("decompress without -in accepted")
+	}
+	if err := run("", filepath.Join(dir, "x"), 0, 0, false, false, 0); err == nil {
+		t.Error("compress without input spec accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.bin"), filepath.Join(dir, "x"), 4, 4, false, false, 0); err == nil {
+		t.Error("missing input file accepted")
+	}
+	// Wrong size raw file.
+	raw := filepath.Join(dir, "short.bin")
+	if err := os.WriteFile(raw, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(raw, filepath.Join(dir, "x"), 64, 64, false, false, 0); err == nil {
+		t.Error("short raw file accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Command zipserv-serve runs the end-to-end serving simulation (§6.5)
+// for one deployment and prints latency, throughput and the memory
+// plan, optionally comparing all four serving backends.
+//
+// Usage:
+//
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -batch 32 -out 2048
+//	zipserv-serve -model LLaMA3.1-70B -device L40S -gpus 4 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zipserv"
+)
+
+func main() {
+	model := flag.String("model", "LLaMA3.1-8B", "model name from the zoo")
+	device := flag.String("device", "RTX4090", "GPU model")
+	gpus := flag.Int("gpus", 1, "tensor-parallel degree")
+	backend := flag.String("backend", "zipserv", "serving backend: zipserv, vllm, transformers, dfloat11")
+	batch := flag.Int("batch", 32, "request batch size")
+	prompt := flag.Int("prompt", 128, "prompt length in tokens")
+	out := flag.Int("out", 512, "output length in tokens")
+	compare := flag.Bool("compare", false, "run all four backends and compare")
+	flag.Parse()
+
+	if err := run(*model, *device, *gpus, *backend, *batch, *prompt, *out, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "zipserv-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, device string, gpus int, backend string, batch, prompt, out int, compare bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	backends := []zipserv.ServingBackend{zipserv.ServingBackend(backend)}
+	if compare {
+		backends = []zipserv.ServingBackend{
+			zipserv.ServeZipServ, zipserv.ServeVLLM, zipserv.ServeTransformers, zipserv.ServeDFloat11,
+		}
+	}
+
+	fmt.Printf("deployment: %s on %dx %s, batch %d, prompt %d, output %d\n\n",
+		modelName, gpus, device, batch, prompt, out)
+	fmt.Printf("%-14s %12s %14s %10s %8s %12s %12s\n",
+		"backend", "latency(s)", "tput(tok/s)", "waves", "conc", "weights(GiB)", "KV cap(GiB)")
+	var base float64
+	for _, b := range backends {
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: b,
+		})
+		if err != nil {
+			fmt.Printf("%-14s does not fit: %v\n", b, err)
+			continue
+		}
+		m, err := eng.Run(batch, prompt, out)
+		if err != nil {
+			fmt.Printf("%-14s failed: %v\n", b, err)
+			continue
+		}
+		fmt.Printf("%-14s %12.2f %14.1f %10d %8d %12.2f %12.2f\n",
+			b, m.TotalSeconds, m.Throughput, m.Waves, m.MaxConcurrent, m.WeightGiB, m.KVCapacityGiB)
+		if b == zipserv.ServeZipServ {
+			base = m.Throughput
+		} else if compare && base > 0 {
+			fmt.Printf("%-14s   (ZipServ speedup: %.2fx)\n", "", base/m.Throughput)
+		}
+	}
+	return nil
+}

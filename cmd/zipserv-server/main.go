@@ -1,0 +1,34 @@
+// Command zipserv-server exposes the ZipServ serving simulator as an
+// HTTP control-plane API (capacity planning, run simulation,
+// trace-driven continuous batching, compression what-ifs).
+//
+// Usage:
+//
+//	zipserv-server -addr :8080
+//	curl localhost:8080/v1/models
+//	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"zipserv/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	log.Printf("zipserv-server listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,74 @@
+// Checkpoint: compress a multi-tensor model checkpoint with TCA-TBE
+// (the paper's §7 checkpointing extension), restore one tensor lazily,
+// and verify everything is bit-exact — the LMC/ZipNN use case with the
+// ZipServ codec.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"zipserv"
+)
+
+func main() {
+	model, err := zipserv.ModelByName("LLaMA3.1-8B")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a two-layer, 1/16-scale checkpoint of the model.
+	w := zipserv.NewCheckpointWriter()
+	originals := map[string]*zipserv.Matrix{}
+	for layer := 0; layer < 2; layer++ {
+		for _, kind := range []string{"qkv", "o", "gateup", "down"} {
+			name := fmt.Sprintf("layers.%d.%s", layer, kind)
+			shape := shapeFor(model, kind)
+			m := zipserv.GaussianWeights(shape[0]/16, shape[1]/16, 0.02, int64(layer*10+len(kind)))
+			originals[name] = m
+			if err := w.Add(name, m); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	st, err := w.Write(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint: %d tensors, %.2f MB -> %.2f MB (%.3fx)\n",
+		st.Tensors, float64(st.UncompressedSize)/1e6, float64(st.CompressedSize)/1e6, st.Ratio())
+
+	// Load lazily: only the manifest is parsed up front.
+	ck, err := zipserv.ReadCheckpoint(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("manifest:")
+	for _, e := range ck.Entries() {
+		fmt.Printf("  %-18s %5dx%-5d %8d bytes compressed\n", e.Name, e.Rows, e.Cols, e.BlobLen)
+	}
+
+	// Restore one tensor and verify.
+	name := "layers.1.down"
+	m, err := ck.Tensor(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %s bit-exact: %v\n", name, originals[name].Equal(m))
+}
+
+func shapeFor(m zipserv.Model, kind string) [2]int {
+	switch kind {
+	case "qkv":
+		return [2]int{(m.NumHeads + 2*m.NumKVHeads) * m.HeadDim, m.HiddenDim}
+	case "o":
+		return [2]int{m.HiddenDim, m.NumHeads * m.HeadDim}
+	case "gateup":
+		return [2]int{2 * m.IntermediateDim, m.HiddenDim}
+	default: // down
+		return [2]int{m.HiddenDim, m.IntermediateDim}
+	}
+}

@@ -1,0 +1,51 @@
+// Layerwise: per-layer analysis of one model — real compression
+// statistics for each linear layer (Figure 2 / §3.1) next to the
+// modelled ZipGEMM speedup on L40S (Figure 11c), including the
+// small-layer slowdown the paper reports for O_proj.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipserv"
+	"zipserv/internal/gpu"
+	"zipserv/internal/weights"
+)
+
+func main() {
+	model, err := zipserv.ModelByName("LLaMA3.1-8B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := zipserv.GPUByName("L40S")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, batch 32 decode, %s\n\n", model.Name, dev.Name)
+	fmt.Printf("%-12s %12s %9s %9s %10s %9s\n",
+		"layer", "shape", "entropy", "ratio", "coverage", "speedup")
+
+	comp := gpu.DefaultCompression()
+	for _, kind := range weights.BlockLayerKinds {
+		full := model.LayerShape(kind)
+		// Functional statistics on a sampled (1/16-scale) matrix.
+		w := weights.SampledLayerMatrix(model, kind, 0, 16)
+		cw, err := zipserv.Compress(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := zipserv.AnalyzeExponents(w)
+
+		// Modelled kernel speedup on the full layer shape.
+		s := gpu.Shape{M: full.M, K: full.K, N: 32}
+		speedup := gpu.CuBLAS(dev, s).Total / gpu.ZipGEMM(dev, s, comp).Total
+
+		fmt.Printf("%-12s %12s %9.2f %9.3f %9.1f%% %8.2fx\n",
+			kind, fmt.Sprintf("%dx%d", full.M, full.K),
+			h.Entropy(), cw.CompressionRatio(), cw.CoverageRatio()*100, speedup)
+	}
+	fmt.Println("\npaper (Figure 11c): GateUp 1.39x, Down 1.64x, O_proj 0.79x on L40S;")
+	fmt.Println("small layers underfill the SMs without per-shape split-K tuning.")
+}

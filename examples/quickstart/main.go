@@ -1,0 +1,51 @@
+// Quickstart: compress LLM-like BF16 weights with TCA-TBE, run the
+// fused ZipGEMM directly on the compressed representation, and verify
+// both the round trip and the GEMM result are bit-exact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipserv"
+)
+
+func main() {
+	// 1. LLM-like weights: zero-mean Gaussian BF16 (Appendix A of the
+	// paper shows this is what makes exponents compressible).
+	const m, k, n = 1024, 1024, 8
+	w := zipserv.GaussianWeights(m, k, 0.02, 42)
+	fmt.Printf("weights: %dx%d BF16, %d bytes dense\n", w.Rows, w.Cols, w.SizeBytes())
+
+	// 2. Offline compression (Algorithm 1): exponent histogram →
+	// contiguous 7-exponent window → triple bitmaps per 8x8 tile.
+	cw, err := zipserv.Compress(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed: %d bytes (%.3fx, %.2f bits/element, window coverage %.1f%%)\n",
+		cw.SizeBytes(), cw.CompressionRatio(), cw.BitsPerElement(), cw.CoverageRatio()*100)
+
+	// 3. Bit-exact decompression.
+	back, err := zipserv.Decompress(cw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip bit-exact: %v\n", w.Equal(back))
+
+	// 4. Fused ZipGEMM: Y = W·X computed without ever materialising W.
+	x := zipserv.NewMatrix(k, n)
+	for i := range x.Data {
+		x.Data[i] = zipserv.FromFloat32(float32(i%7) * 0.5)
+	}
+	fused, err := zipserv.ZipGEMM(cw, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dense, err := zipserv.GEMM(w, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ZipGEMM == dense GEMM bit-exactly: %v\n", fused.Equal(dense))
+	fmt.Printf("Y[0][0] = %g\n", fused.At(0, 0))
+}

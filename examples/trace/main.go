@@ -1,0 +1,48 @@
+// Trace: continuous-batching simulation — serve a Poisson request
+// trace through the ZipServ and vLLM backends and compare TTFT,
+// latency, peak concurrency and throughput. This is the open-loop view
+// of the Figure 16 experiment: compression converts into admission
+// capacity, which converts into tail latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zipserv"
+)
+
+func main() {
+	model, err := zipserv.ModelByName("LLaMA3.1-8B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev, err := zipserv.GPUByName("RTX4090")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 100 requests arriving at 30 req/s: prompt ~128, output ~512.
+	trace := zipserv.SyntheticTrace(100, 30, 128, 512, 42)
+	fmt.Printf("trace: %d requests over %.1f s (mean prompt 128, mean output 512)\n\n",
+		len(trace), trace[len(trace)-1].ArrivalSeconds)
+	fmt.Printf("%-10s %12s %12s %10s %10s %8s\n",
+		"backend", "makespan(s)", "tput(tok/s)", "meanTTFT", "maxTTFT", "peak")
+
+	for _, backend := range []zipserv.ServingBackend{zipserv.ServeZipServ, zipserv.ServeVLLM} {
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, Backend: backend,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, _, err := eng.Serve(trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.2f %12.1f %9.3fs %9.3fs %8d\n",
+			backend, st.MakespanSeconds, st.Throughput, st.MeanTTFT, st.MaxTTFT, st.PeakConcurrency)
+	}
+	fmt.Println("\nZipServ's freed weight memory admits more concurrent sequences,")
+	fmt.Println("so queueing delay (TTFT) and makespan both drop under load.")
+}

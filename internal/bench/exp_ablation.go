@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"zipserv/internal/bf16"
+	"zipserv/internal/core"
+	"zipserv/internal/gpu"
+	"zipserv/internal/weights"
+)
+
+// AblationA1 compares the decoupled triple-bitmap layout against a
+// packed 3-bit bitstream (§4.2 "Decoupled Triple Bitmap Layout"). A
+// packed stream makes codewords span 32-bit word boundaries: each
+// element needs extra funnel shifts and mask arithmetic, accesses lose
+// coalescing, and boundary-dependent control flow diverges. The table
+// prices both designs with the same cost model.
+func AblationA1() *Table {
+	spec := gpu.MustByName("RTX4090")
+	comp := gpu.DefaultCompression()
+	s := gpu.Shape{M: 28672, K: 4096, N: 32}
+
+	// Bit-plane design: the shipped model.
+	planes := gpu.ZipGEMM(spec, s, comp)
+
+	// Packed-bitstream alternative: same compressed bytes, but decode
+	// needs ~1.8× the ALU work (cross-word extraction) and drops to
+	// ~72% memory efficiency (unaligned, conflict-prone accesses).
+	const packedALUFactor = 1.8
+	const packedMemPenalty = 0.72 / 0.90
+	packedALU := planes.ALU * packedALUFactor
+	packedMem := planes.Mem / packedMemPenalty
+	packedTotal := math.Max(packedMem, math.Max(packedALU, planes.TC)) + gpu.LaunchOverhead
+
+	t := &Table{
+		Title:   "Ablation A1: triple bit-plane bitmaps vs packed 3-bit bitstream",
+		Headers: []string{"layout", "mem(ms)", "alu(ms)", "total(ms)", "slowdown"},
+	}
+	t.AddRow("bit-planes (TCA-TBE)", planes.Mem*1e3, planes.ALU*1e3, planes.Total*1e3, 1.0)
+	t.AddRow("packed bitstream", packedMem*1e3, packedALU*1e3, packedTotal*1e3, packedTotal/planes.Total)
+	t.Notes = append(t.Notes, "packed codewords span word boundaries: extra shifts, lost coalescing (§4.2)")
+	return t
+}
+
+// AblationA2 sweeps the codeword length n ∈ {2,3,4} functionally:
+// real compression ratios on generated weights plus the modelled
+// fused-kernel time for each.
+func AblationA2() *Table {
+	spec := gpu.MustByName("RTX4090")
+	m, err := weights.ByName("LLaMA3.1-8B")
+	if err != nil {
+		panic(err)
+	}
+	w := weights.SampledLayerMatrix(m, weights.GateUpProj, 0, 16)
+	s := gpu.Shape{M: 28672, K: 4096, N: 32}
+
+	t := &Table{
+		Title:   "Ablation A2: codeword length (functional compression + modelled kernel)",
+		Headers: []string{"bits", "coverage", "ratio", "bits/elem", "ZipGEMM(ms)"},
+	}
+	for n := 2; n <= 4; n++ {
+		cm, err := core.CompressWithOptions(w, core.Options{CodewordBits: n, Selection: core.WindowSelection})
+		if err != nil {
+			panic(err)
+		}
+		comp := gpu.Compression{Ratio: cm.CompressionRatio(), Coverage: cm.CoverageRatio(), CodewordBits: n}
+		t.AddRow(n, cm.CoverageRatio(), cm.CompressionRatio(), cm.BitsPerElement(),
+			gpu.ZipGEMM(spec, s, comp).Total*1e3)
+	}
+	t.Notes = append(t.Notes, "paper §4.2: n=3 minimises storage (11.3 bits/elem) and is the shipped default")
+	return t
+}
+
+// AblationA3 contrasts the fused and decoupled execution paths across
+// N, locating the stage-aware switch point (§4.4).
+func AblationA3() *Table {
+	spec := gpu.MustByName("RTX4090")
+	comp := gpu.DefaultCompression()
+	t := &Table{
+		Title:   "Ablation A3: fused vs decoupled across N (M=K=4096)",
+		Headers: []string{"N", "fused(ms)", "decoupled(ms)", "winner"},
+	}
+	switchN := -1
+	for _, n := range []int{1, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		s := gpu.Shape{M: 4096, K: 4096, N: n}
+		fused := gpu.ZipGEMM(spec, s, comp).Total
+		dec, err := gpu.Decoupled(spec, s, comp.Ratio, "zipserv-tbe")
+		if err != nil {
+			panic(err)
+		}
+		winner := "fused"
+		if dec.Total < fused {
+			winner = "decoupled"
+			if switchN < 0 {
+				switchN = n
+			}
+		}
+		t.AddRow(n, fused*1e3, dec.Total*1e3, winner)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("decoupled first wins at N=%d (paper: between 128 and 8192)", switchN))
+	return t
+}
+
+// AblationA4 quantifies the two-level software pipeline (§4.3.3):
+// with overlap, kernel time is the max of the three resource streams;
+// without, the streams serialise.
+func AblationA4() *Table {
+	comp := gpu.DefaultCompression()
+	t := &Table{
+		Title:   "Ablation A4: software pipelining (overlap on/off)",
+		Headers: []string{"device", "overlapped(ms)", "serialised(ms)", "pipeline gain"},
+	}
+	s := gpu.Shape{M: 28672, K: 4096, N: 32}
+	for _, dev := range []string{"RTX4090", "L40S", "A100"} {
+		spec := gpu.MustByName(dev)
+		k := gpu.ZipGEMM(spec, s, comp)
+		serial := k.Mem + k.ALU + k.TC + gpu.LaunchOverhead
+		t.AddRow(dev, k.Total*1e3, serial*1e3, serial/k.Total)
+	}
+	t.Notes = append(t.Notes, "the interleaved load-decompress-compute pattern hides decode latency (§4.3.3)")
+	return t
+}
+
+// AblationA5 compares contiguous-window selection (implicit base+code
+// lookup) against top-frequency selection (explicit codebook), both
+// functionally (coverage on unimodal and bimodal data) and in decode
+// cost (an IADD vs a shared-memory lookup per element).
+func AblationA5() *Table {
+	t := &Table{
+		Title:   "Ablation A5: window selection vs top-frequency codebook",
+		Headers: []string{"weights", "selection", "coverage", "ratio", "exp. reconstruction"},
+	}
+	gaussian := weights.Gaussian(512, 512, 0.02, 11)
+	bimodal := bimodalMatrix(512, 512, 12)
+	for _, in := range []struct {
+		name string
+		m    *bf16.Matrix
+	}{{"gaussian (LLM-like)", gaussian}, {"bimodal (adversarial)", bimodal}} {
+		for _, sel := range []struct {
+			name string
+			s    core.Selection
+			rec  string
+		}{
+			{"window", core.WindowSelection, "base+code (1 IADD)"},
+			{"top-frequency", core.TopFrequencySelection, "codebook (1 LDS)"},
+		} {
+			cm, err := core.CompressWithOptions(in.m, core.Options{CodewordBits: 3, Selection: sel.s})
+			if err != nil {
+				panic(err)
+			}
+			t.AddRow(in.name, sel.name, cm.CoverageRatio(), cm.CompressionRatio(), sel.rec)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"on LLM-like weights the window loses nothing (contiguity, §3.1) and decodes with pure ALU arithmetic",
+		"the codebook only wins on distributions LLMs do not exhibit (Appendix A)")
+	return t
+}
+
+// bimodalMatrix builds weights whose exponent histogram has two
+// separated clusters — the counterexample where a contiguous window
+// cannot cover the mass.
+func bimodalMatrix(rows, cols int, seed int64) *bf16.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := bf16.NewMatrix(rows, cols)
+	for i := range m.Data {
+		var e uint8
+		if rng.Intn(2) == 0 {
+			e = uint8(100 + rng.Intn(3))
+		} else {
+			e = uint8(200 + rng.Intn(3))
+		}
+		m.Data[i] = bf16.Assemble(uint16(rng.Intn(2)), e, uint8(rng.Intn(128)))
+	}
+	return m
+}
+
+// AblationA6 implements and evaluates the paper's future-work item for
+// small layers (§6.1): per-shape split-K tuning. The tuned kernel
+// recovers the O_proj slowdown while leaving saturated layers
+// untouched.
+func AblationA6() *Table {
+	spec := gpu.MustByName("L40S")
+	comp := gpu.DefaultCompression()
+	m, err := weights.ByName("LLaMA3.1-8B")
+	if err != nil {
+		panic(err)
+	}
+	t := &Table{
+		Title:   "Ablation A6 (future work, implemented): split-K tuning on L40S (batch 32)",
+		Headers: []string{"layer", "default vs cuBLAS", "tuned vs cuBLAS", "chosen kChunk"},
+	}
+	for _, kind := range weights.BlockLayerKinds {
+		s := shapeOf(m, kind, 32)
+		cu := gpu.CuBLAS(spec, s).Total
+		def := gpu.ZipGEMM(spec, s, comp).Total
+		tuned, chunk := gpu.ZipGEMMTuned(spec, s, comp)
+		t.AddRow(string(kind), cu/def, cu/tuned.Total, chunk)
+	}
+	t.Notes = append(t.Notes,
+		"paper §6.1: 'small layers require fine-grained parameter tuning (e.g., split-K configurations)…beyond the scope of this work'")
+	return t
+}
+
+// Ablations returns all ablation tables.
+func Ablations() []*Table {
+	return []*Table{AblationA1(), AblationA2(), AblationA3(), AblationA4(), AblationA5(), AblationA6()}
+}

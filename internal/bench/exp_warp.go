@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"zipserv/internal/core"
+	"zipserv/internal/huffman"
+	"zipserv/internal/warp"
+	"zipserv/internal/weights"
+)
+
+// E32Divergence reproduces the §3.2 architectural argument as a
+// measurement: the same weight matrix decoded by a simulated 32-lane
+// warp under (a) TCA-TBE's fixed-length predicated decoder and (b) a
+// chunk-parallel Huffman decoder. Divergence factor 1.0 means perfect
+// lockstep; anything above it is warp serialisation.
+func E32Divergence() *Table {
+	t := &Table{
+		Title:   "E-3.2: SIMT warp divergence, TCA-TBE vs Huffman decode (simulated warp)",
+		Headers: []string{"weights", "decoder", "divergence", "warp util"},
+	}
+	for _, in := range []struct {
+		name  string
+		sigma float64
+		seed  int64
+	}{
+		{"gaussian sigma=0.02", 0.02, 1},
+		{"gaussian sigma=0.10", 0.10, 2},
+	} {
+		w := weights.Gaussian(256, 256, in.sigma, in.seed)
+
+		cm, err := core.Compress(w)
+		if err != nil {
+			panic(err)
+		}
+		tbe, err := warp.SimulateTBEDecode(cm, 0)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(in.name, "TCA-TBE", tbe.DivergenceFactor,
+			fmt.Sprintf("%.1f%%", tbe.Utilisation*100))
+
+		exps := make([]byte, len(w.Data))
+		for i, v := range w.Data {
+			exps[i] = v.Exponent()
+		}
+		hs, err := huffman.Encode(exps, len(exps)/warp.Lanes)
+		if err != nil {
+			panic(err)
+		}
+		hr, err := warp.SimulateHuffmanDecode(hs)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(in.name, "Huffman", hr.DivergenceFactor,
+			fmt.Sprintf("%.1f%%", hr.Utilisation*100))
+	}
+	t.Notes = append(t.Notes,
+		"§3.2: variable-length symbols make faster lanes stall for slower ones; TCA-TBE decodes branch-free",
+		"divergence measured on real encoded streams under a lane-accurate lockstep simulator (internal/warp)")
+	return t
+}

@@ -1,0 +1,93 @@
+package bf16
+
+import "fmt"
+
+// Matrix is a dense, row-major BF16 matrix. Weight matrices in the
+// paper are W ∈ R^{M×K} where M is the output dimension and K the
+// hidden (reduction) dimension; Data[r*Cols+c] holds element (r, c).
+type Matrix struct {
+	Rows, Cols int
+	Data       []BF16
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bf16: negative matrix dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]BF16, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) BF16 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at row r, column c.
+func (m *Matrix) Set(r, c int, v BF16) { m.Data[r*m.Cols+c] = v }
+
+// NumElements returns Rows×Cols.
+func (m *Matrix) NumElements() int { return m.Rows * m.Cols }
+
+// SizeBytes returns the uncompressed storage footprint (2 bytes per
+// element), the denominator of every compression ratio in the paper.
+func (m *Matrix) SizeBytes() int { return 2 * m.NumElements() }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{Rows: m.Rows, Cols: m.Cols, Data: make([]BF16, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports whether m and other have identical shape and identical
+// bit patterns in every element. This is the bit-exactness predicate
+// used throughout the test suite: two NaNs with different payloads are
+// NOT equal, and +0 != -0.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != other.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDiff returns the flat index of the first element where m and
+// other differ, or -1 if they are bit-identical. Shape mismatches
+// return 0. Useful in test failure messages.
+func (m *Matrix) FirstDiff(other *Matrix) int {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return 0
+	}
+	for i, v := range m.Data {
+		if v != other.Data[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// ToFloat32 widens the matrix into a freshly allocated []float32 in
+// row-major order.
+func (m *Matrix) ToFloat32() []float32 {
+	out := make([]float32, len(m.Data))
+	for i, v := range m.Data {
+		out[i] = v.Float32()
+	}
+	return out
+}
+
+// FromFloat32Matrix builds a BF16 matrix by rounding each float32
+// (round-to-nearest-even).
+func FromFloat32Matrix(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("bf16: data length %d does not match %d×%d", len(data), rows, cols))
+	}
+	m := NewMatrix(rows, cols)
+	for i, f := range data {
+		m.Data[i] = FromFloat32(f)
+	}
+	return m
+}

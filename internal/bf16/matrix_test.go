@@ -1,0 +1,109 @@
+package bf16
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(3, 5)
+	if m.NumElements() != 15 || m.SizeBytes() != 30 {
+		t.Fatalf("NumElements=%d SizeBytes=%d, want 15/30", m.NumElements(), m.SizeBytes())
+	}
+	m.Set(2, 4, FromFloat32(1.5))
+	if got := m.At(2, 4).Float32(); got != 1.5 {
+		t.Errorf("At(2,4) = %g, want 1.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %#04x, want zero", got.Bits())
+	}
+}
+
+func TestMatrixCloneIndependence(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, FromFloat32(3))
+	c := m.Clone()
+	c.Set(0, 0, FromFloat32(7))
+	if m.At(0, 0).Float32() != 3 {
+		t.Error("Clone shares backing storage with original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("Clone is not Equal to original")
+	}
+}
+
+func TestMatrixEqualBitExact(t *testing.T) {
+	a := NewMatrix(1, 2)
+	b := NewMatrix(1, 2)
+	if !a.Equal(b) {
+		t.Error("zero matrices must be equal")
+	}
+	// +0 vs -0 differ bitwise.
+	b.Set(0, 0, FromBits(0x8000))
+	if a.Equal(b) {
+		t.Error("+0 and -0 must not compare equal bit-exactly")
+	}
+	// NaNs with different payloads differ.
+	a.Set(0, 0, FromBits(0x7FC0))
+	b.Set(0, 0, FromBits(0x7FC1))
+	if a.Equal(b) {
+		t.Error("NaNs with distinct payloads must not compare equal")
+	}
+	// Shape mismatch.
+	if a.Equal(NewMatrix(2, 1)) {
+		t.Error("shape mismatch must not compare equal")
+	}
+}
+
+func TestMatrixFirstDiff(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := a.Clone()
+	if got := a.FirstDiff(b); got != -1 {
+		t.Errorf("FirstDiff of identical = %d, want -1", got)
+	}
+	b.Set(1, 1, FromFloat32(2))
+	if got := a.FirstDiff(b); got != 4 {
+		t.Errorf("FirstDiff = %d, want 4", got)
+	}
+}
+
+func TestFromFloat32Matrix(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	m := FromFloat32Matrix(2, 3, data)
+	back := m.ToFloat32()
+	for i := range data {
+		if back[i] != data[i] {
+			t.Errorf("element %d: %g != %g", i, back[i], data[i])
+		}
+	}
+}
+
+func TestFromFloat32MatrixPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched data length")
+		}
+	}()
+	FromFloat32Matrix(2, 3, make([]float32, 5))
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative dimension")
+		}
+	}()
+	NewMatrix(-1, 4)
+}
+
+func TestMatrixRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMatrix(17, 33)
+	for i := range m.Data {
+		m.Data[i] = FromBits(uint16(rng.Intn(1 << 16)))
+	}
+	c := m.Clone()
+	if !m.Equal(c) || m.FirstDiff(c) != -1 {
+		t.Error("random matrix does not round-trip through Clone")
+	}
+}

@@ -1,0 +1,134 @@
+// Package codec defines the common interface over all lossless BF16
+// weight codecs evaluated in the ZipServ paper and provides the three
+// baseline implementations:
+//
+//   - ZipServ: the TCA-TBE format (internal/core) — fixed-length,
+//     bitmap-based, SIMT-friendly;
+//   - DFloat11: canonical Huffman over the exponent stream with raw
+//     sign/mantissa bytes (Zhang et al., the strongest lossless
+//     baseline of §6);
+//   - DietGPU: chunked rANS over the exponent stream (Johnson, the
+//     GPU-native ANS baseline);
+//   - NvComp: rANS with the coarser chunking and generic framing of a
+//     general-purpose library (NVIDIA nvCOMP, which lacks native BF16
+//     support — the paper reconstructs BF16 around it, §6.1).
+//
+// Every codec is lossless over arbitrary bit patterns (including NaN
+// payloads), so the paper's speed comparisons are between
+// equal-fidelity systems. The codec Name doubles as the key into the
+// GPU cost model's per-pipeline efficiency table.
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zipserv/internal/bf16"
+)
+
+// Canonical codec names, shared with the GPU cost model.
+const (
+	NameZipServ  = "zipserv-tbe"
+	NameDFloat11 = "dfloat11"
+	NameDietGPU  = "dietgpu"
+	NameNvComp   = "nvcomp"
+)
+
+// Codec compresses BF16 weight matrices losslessly.
+type Codec interface {
+	// Name returns the canonical codec identifier.
+	Name() string
+	// Compress encodes m; the result decompresses bit-exactly.
+	Compress(m *bf16.Matrix) (Blob, error)
+}
+
+// Blob is a compressed weight matrix.
+type Blob interface {
+	// Codec returns the name of the codec that produced the blob.
+	Codec() string
+	// Decompress reconstructs the original matrix bit-for-bit.
+	Decompress() (*bf16.Matrix, error)
+	// SizeBytes returns the compressed footprint including metadata.
+	SizeBytes() int
+	// OriginalBytes returns the uncompressed footprint.
+	OriginalBytes() int
+}
+
+// Ratio returns OriginalBytes / SizeBytes for b.
+func Ratio(b Blob) float64 {
+	return float64(b.OriginalBytes()) / float64(b.SizeBytes())
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]func() Codec{}
+)
+
+// Register installs a codec constructor under its name. It panics on
+// duplicates, which would indicate two packages claiming one identity.
+func Register(name string, ctor func() Codec) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("codec: duplicate registration of %q", name))
+	}
+	registry[name] = ctor
+}
+
+// New returns a fresh codec instance by name.
+func New(name string) (Codec, error) {
+	mu.RLock()
+	ctor, ok := registry[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown codec %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists all registered codecs in sorted order.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(NameZipServ, func() Codec { return ZipServ{} })
+	Register(NameDFloat11, func() Codec { return DFloat11{} })
+	Register(NameDietGPU, func() Codec { return DietGPU{} })
+	Register(NameNvComp, func() Codec { return NvComp{} })
+}
+
+// splitStreams separates a BF16 matrix into its exponent byte stream
+// and its packed sign/mantissa byte stream — the decomposition every
+// exponent-entropy codec (DFloat11, DietGPU, nvCOMP-wrapped) uses.
+func splitStreams(m *bf16.Matrix) (exps, signMant []byte) {
+	n := m.NumElements()
+	exps = make([]byte, n)
+	signMant = make([]byte, n)
+	for i, w := range m.Data {
+		exps[i] = w.Exponent()
+		signMant[i] = w.PackSignMantissa()
+	}
+	return exps, signMant
+}
+
+// joinStreams reassembles a matrix from the two streams.
+func joinStreams(rows, cols int, exps, signMant []byte) (*bf16.Matrix, error) {
+	if len(exps) != rows*cols || len(signMant) != rows*cols {
+		return nil, fmt.Errorf("codec: stream lengths %d/%d do not match %d×%d", len(exps), len(signMant), rows, cols)
+	}
+	m := bf16.NewMatrix(rows, cols)
+	for i := range m.Data {
+		sign, mant := bf16.UnpackSignMantissa(signMant[i])
+		m.Data[i] = bf16.Assemble(sign, exps[i], mant)
+	}
+	return m, nil
+}

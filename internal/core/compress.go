@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"zipserv/internal/bf16"
+	"zipserv/internal/tile"
+)
+
+// Compress encodes a BF16 weight matrix into TCA-TBE form using the
+// paper's default configuration (3-bit codewords, contiguous window).
+// It implements Algorithm 1: a global exponent-analysis phase followed
+// by per-tile encoding. The encoding is lossless: Decompress returns
+// the original matrix bit-for-bit.
+func Compress(m *bf16.Matrix) (*Compressed, error) {
+	return CompressWithOptions(m, DefaultOptions())
+}
+
+// CompressWithOptions encodes m with explicit codec options.
+func CompressWithOptions(m *bf16.Matrix, opts Options) (*Compressed, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if m.Rows <= 0 || m.Cols <= 0 {
+		return nil, fmt.Errorf("core: cannot compress empty %d×%d matrix", m.Rows, m.Cols)
+	}
+
+	// Phase I: global exponent analysis.
+	hist := exponentHistogram(m)
+	c := &Compressed{Grid: tile.NewGrid(m.Rows, m.Cols), Opts: opts}
+	switch opts.Selection {
+	case WindowSelection:
+		start, _ := BestWindow(hist, opts.WindowSize())
+		c.BaseExp = int16(start) - 1
+		c.Codebook = make([]uint8, opts.WindowSize())
+		for i := range c.Codebook {
+			c.Codebook[i] = uint8(start + i)
+		}
+	case TopFrequencySelection:
+		c.Codebook = topExponents(hist, opts.WindowSize())
+		c.BaseExp = int16(c.Codebook[0]) - 1 // informational only
+	}
+
+	// Phase II: tile encoding. Blocks are visited row-major; frags in
+	// storage order; positions row-major within each frag — the same
+	// order the decoder uses, so offsets line up with no per-element
+	// index metadata. Blocks are independent, so they encode in
+	// parallel across GOMAXPROCS workers into per-block buffers that
+	// are stitched in order afterwards: output bytes are identical to
+	// the sequential encoder's (the checkpoint tests rely on that
+	// determinism).
+	n := opts.CodewordBits
+	g := c.Grid
+	c.Planes = make([]uint64, g.NumFrags()*n)
+	c.HighOff = make([]int64, g.NumBlocks()+1)
+	c.FullOff = make([]int64, g.NumBlocks()+1)
+
+	highs := make([][]uint8, g.NumBlocks())
+	fulls := make([][]uint16, g.NumBlocks())
+	parallelBlocks(g.NumBlocks(), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			highs[b], fulls[b] = c.encodeBlock(m, b)
+		}
+	})
+
+	var totalHigh, totalFull int
+	for b := 0; b < g.NumBlocks(); b++ {
+		totalHigh += len(highs[b])
+		totalFull += len(fulls[b])
+	}
+	c.High = make([]uint8, 0, totalHigh)
+	c.Full = make([]uint16, 0, totalFull)
+	for b := 0; b < g.NumBlocks(); b++ {
+		c.High = append(c.High, highs[b]...)
+		c.Full = append(c.Full, fulls[b]...)
+		c.HighOff[b+1] = int64(len(c.High))
+		c.FullOff[b+1] = int64(len(c.Full))
+	}
+	return c, nil
+}
+
+// encodeBlock encodes one 64×64 BlockTile, writing its bit-planes into
+// the shared Planes array (disjoint region per block) and returning
+// its value buffers. Padding elements encode as codeword 1 with zero
+// sign/mantissa — one High byte each, never read back.
+func (c *Compressed) encodeBlock(m *bf16.Matrix, b int) (high []uint8, full []uint16) {
+	const padCode = 1
+	n := c.Opts.CodewordBits
+	g := c.Grid
+	for f := 0; f < tile.FragsPerBlock; f++ {
+		frag := b*tile.FragsPerBlock + f
+		planes := c.Planes[frag*n : frag*n+n]
+		for p := 0; p < tile.FragElems; p++ {
+			r, col := g.FromCoord(tile.Coord{Block: b, Frag: f, Pos: p})
+			var w bf16.BF16
+			pad := !g.InBounds(r, col)
+			if !pad {
+				w = m.At(r, col)
+			}
+			code := 0
+			switch {
+			case pad:
+				code = padCode
+				w = 0 // sign 0, mantissa 0
+			default:
+				code = c.codeForExponent(w.Exponent())
+			}
+			if code != 0 {
+				for bit := 0; bit < n; bit++ {
+					planes[bit] |= uint64((code>>bit)&1) << p
+				}
+				high = append(high, w.PackSignMantissa())
+			} else {
+				full = append(full, w.Bits())
+			}
+		}
+	}
+	return high, full
+}
+
+// parallelBlocks splits [0, n) into contiguous chunks across
+// GOMAXPROCS workers.
+func parallelBlocks(n int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		work(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// exponentHistogram counts the raw 8-bit exponent field of every
+// in-bounds element.
+func exponentHistogram(m *bf16.Matrix) [256]int64 {
+	var hist [256]int64
+	for _, w := range m.Data {
+		hist[w.Exponent()]++
+	}
+	return hist
+}
+
+// BestWindow returns the start of the width-k window over exponent
+// values [0,255] with maximal total count, and that count. Ties are
+// broken toward the lower start, making compression deterministic.
+// This is SelectTop7ConsecutiveExponents of Algorithm 1 (generalised
+// to any k).
+func BestWindow(hist [256]int64, k int) (start int, covered int64) {
+	if k <= 0 || k > 256 {
+		panic(fmt.Sprintf("core: window width %d out of range", k))
+	}
+	var sum int64
+	for i := 0; i < k; i++ {
+		sum += hist[i]
+	}
+	best, bestStart := sum, 0
+	for s := 1; s+k <= 256; s++ {
+		sum += hist[s+k-1] - hist[s-1]
+		if sum > best {
+			best, bestStart = sum, s
+		}
+	}
+	return bestStart, best
+}
+
+// topExponents returns the k individually most frequent exponent
+// values, sorted ascending (deterministic tie-break by value).
+func topExponents(hist [256]int64, k int) []uint8 {
+	type ec struct {
+		e uint8
+		n int64
+	}
+	all := make([]ec, 256)
+	for i := range all {
+		all[i] = ec{uint8(i), hist[i]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].e < all[j].e
+	})
+	top := make([]uint8, k)
+	for i := 0; i < k; i++ {
+		top[i] = all[i].e
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i] < top[j] })
+	return top
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

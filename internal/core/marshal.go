@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"zipserv/internal/tile"
+)
+
+// Serialization format (little-endian):
+//
+//	magic   [4]byte  "ZTBE"
+//	version uint16   1
+//	cwBits  uint8
+//	select  uint8
+//	rows    uint32
+//	cols    uint32
+//	baseExp int16
+//	cbLen   uint16   codebook entries
+//	nPlanes uint64
+//	nHigh   uint64
+//	nFull   uint64
+//	codebook, planes, high, full, highOff, fullOff arrays
+//	crc32   uint32   IEEE CRC of everything above
+//
+// Offset arrays are serialised (rather than recomputed) so loading a
+// checkpoint does not require a popcount pass over all bitmaps, the
+// same reason the paper stores GroupTile offsets explicitly. The CRC
+// trailer catches bit rot that the structural Validate cannot (e.g. a
+// flipped bit inside one bit-plane that leaves popcounts unchanged).
+var magic = [4]byte{'Z', 'T', 'B', 'E'}
+
+const formatVersion = 1
+
+// WriteTo serialises c. It satisfies io.WriterTo.
+func (c *Compressed) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw, crc: crc32.NewIEEE()}
+
+	head := struct {
+		Magic   [4]byte
+		Version uint16
+		CwBits  uint8
+		Select  uint8
+		Rows    uint32
+		Cols    uint32
+		BaseExp int16
+		CbLen   uint16
+		NPlanes uint64
+		NHigh   uint64
+		NFull   uint64
+	}{
+		Magic:   magic,
+		Version: formatVersion,
+		CwBits:  uint8(c.Opts.CodewordBits),
+		Select:  uint8(c.Opts.Selection),
+		Rows:    uint32(c.Grid.Rows),
+		Cols:    uint32(c.Grid.Cols),
+		BaseExp: c.BaseExp,
+		CbLen:   uint16(len(c.Codebook)),
+		NPlanes: uint64(len(c.Planes)),
+		NHigh:   uint64(len(c.High)),
+		NFull:   uint64(len(c.Full)),
+	}
+	for _, v := range []any{head, c.Codebook, c.Planes, c.High, c.Full, c.HighOff, c.FullOff} {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, cw.crc.Sum32()); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserialises into c, replacing its contents, and validates
+// the result. It satisfies io.ReaderFrom.
+func (c *Compressed) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countReader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var head struct {
+		Magic   [4]byte
+		Version uint16
+		CwBits  uint8
+		Select  uint8
+		Rows    uint32
+		Cols    uint32
+		BaseExp int16
+		CbLen   uint16
+		NPlanes uint64
+		NHigh   uint64
+		NFull   uint64
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &head); err != nil {
+		return cr.n, err
+	}
+	if head.Magic != magic {
+		return cr.n, fmt.Errorf("core: bad magic %q", head.Magic[:])
+	}
+	if head.Version != formatVersion {
+		return cr.n, fmt.Errorf("core: unsupported format version %d", head.Version)
+	}
+	if head.Rows == 0 || head.Cols == 0 {
+		return cr.n, fmt.Errorf("core: zero matrix dimension in header")
+	}
+	const maxSide = 1 << 20 // 1M rows/cols caps allocation from hostile input
+	if head.Rows > maxSide || head.Cols > maxSide {
+		return cr.n, fmt.Errorf("core: matrix dimension %d×%d exceeds limit", head.Rows, head.Cols)
+	}
+	opts := Options{CodewordBits: int(head.CwBits), Selection: Selection(head.Select)}
+	if err := opts.validate(); err != nil {
+		return cr.n, err
+	}
+	grid := tile.NewGrid(int(head.Rows), int(head.Cols))
+	wantPlanes := uint64(grid.NumFrags()) * uint64(opts.CodewordBits)
+	if head.NPlanes != wantPlanes {
+		return cr.n, fmt.Errorf("core: header declares %d planes, grid needs %d", head.NPlanes, wantPlanes)
+	}
+	maxElems := uint64(grid.PaddedRows) * uint64(grid.PaddedCols)
+	if head.NHigh > maxElems || head.NFull > maxElems || uint64(head.CbLen) > 15 {
+		return cr.n, fmt.Errorf("core: header buffer sizes exceed matrix capacity")
+	}
+
+	out := &Compressed{
+		Grid:     grid,
+		Opts:     opts,
+		BaseExp:  head.BaseExp,
+		Codebook: make([]uint8, head.CbLen),
+		Planes:   make([]uint64, head.NPlanes),
+		High:     make([]uint8, head.NHigh),
+		Full:     make([]uint16, head.NFull),
+		HighOff:  make([]int64, grid.NumBlocks()+1),
+		FullOff:  make([]int64, grid.NumBlocks()+1),
+	}
+	for _, v := range []any{out.Codebook, out.Planes, out.High, out.Full, out.HighOff, out.FullOff} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return cr.n, err
+		}
+	}
+	wantCRC := cr.crc.Sum32()
+	var gotCRC uint32
+	if err := binary.Read(cr, binary.LittleEndian, &gotCRC); err != nil {
+		return cr.n, err
+	}
+	if gotCRC != wantCRC {
+		return cr.n, fmt.Errorf("core: CRC mismatch (%#08x != %#08x): payload corrupted", gotCRC, wantCRC)
+	}
+	if err := out.Validate(); err != nil {
+		return cr.n, err
+	}
+	*c = *out
+	return cr.n, nil
+}
+
+// countWriter tracks bytes written and a running CRC of the payload.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	crc hash.Hash32
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.crc.Write(p[:n])
+	return n, err
+}
+
+// countReader tracks bytes read and a running CRC of the payload.
+type countReader struct {
+	r   io.Reader
+	n   int64
+	crc hash.Hash32
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	cr.crc.Write(p[:n])
+	return n, err
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"zipserv/internal/bf16"
+)
+
+func marshalRoundTrip(t *testing.T, cm *Compressed) *Compressed {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := cm.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	var back Compressed
+	rn, err := back.ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if rn != n {
+		t.Fatalf("ReadFrom consumed %d bytes, wrote %d", rn, n)
+	}
+	return &back
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := gaussianMatrix(t, 100, 130, 0.02, 71)
+	cm, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := marshalRoundTrip(t, cm)
+	got, err := Decompress(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Error("matrix does not survive marshal → unmarshal → decompress")
+	}
+}
+
+func TestMarshalRoundTripAllModes(t *testing.T) {
+	m := gaussianMatrix(t, 64, 64, 0.03, 73)
+	for _, opts := range []Options{
+		{CodewordBits: 2, Selection: WindowSelection},
+		{CodewordBits: 3, Selection: WindowSelection},
+		{CodewordBits: 4, Selection: WindowSelection},
+		{CodewordBits: 3, Selection: TopFrequencySelection},
+	} {
+		cm, err := CompressWithOptions(m, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		back := marshalRoundTrip(t, cm)
+		got, err := Decompress(back)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !m.Equal(got) {
+			t.Errorf("%+v: not bit-exact after serialisation", opts)
+		}
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"badMagic":  append([]byte("XXXX"), make([]byte, 60)...),
+		"truncated": {'Z', 'T', 'B', 'E', 1, 0},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			var c Compressed
+			if _, err := c.ReadFrom(bytes.NewReader(data)); err == nil {
+				t.Error("garbage input accepted")
+			}
+		})
+	}
+}
+
+func TestReadFromRejectsCorruptedBody(t *testing.T) {
+	m := gaussianMatrix(t, 64, 64, 0.02, 77)
+	cm, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte inside the bitmap region; Validate must notice the
+	// disagreement between bitmaps and offsets.
+	corrupted := append([]byte(nil), data...)
+	corrupted[64] ^= 0xFF
+	var c Compressed
+	if _, err := c.ReadFrom(bytes.NewReader(corrupted)); err == nil {
+		t.Error("corrupted body accepted")
+	}
+	// Truncation mid-array must also fail cleanly.
+	var c2 Compressed
+	if _, err := c2.ReadFrom(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestReadFromRejectsHostileHeader(t *testing.T) {
+	// A header declaring absurd dimensions must be rejected before any
+	// large allocation happens.
+	var buf bytes.Buffer
+	m := gaussianMatrix(t, 64, 64, 0.02, 79)
+	cm, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// rows field lives at offset 8 (after magic+version+cw+sel).
+	hostile := append([]byte(nil), data...)
+	hostile[8], hostile[9], hostile[10], hostile[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	var c Compressed
+	if _, err := c.ReadFrom(bytes.NewReader(hostile)); err == nil {
+		t.Error("hostile dimensions accepted")
+	}
+}
+
+func TestQuickCompressRoundTrip(t *testing.T) {
+	// Property: any 4096-element bit pattern soup survives the full
+	// compress → marshal → unmarshal → decompress pipeline bit-exactly.
+	f := func(seed int64, rowsSel, colsSel uint8) bool {
+		rows := int(rowsSel%80) + 1
+		cols := int(colsSel%80) + 1
+		m := randomBitsMatrix(t, rows, cols, seed)
+		cm, err := Compress(m)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := cm.WriteTo(&buf); err != nil {
+			return false
+		}
+		var back Compressed
+		if _, err := back.ReadFrom(&buf); err != nil {
+			return false
+		}
+		got, err := Decompress(&back)
+		if err != nil {
+			return false
+		}
+		return m.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGaussianRoundTrip(t *testing.T) {
+	// Property: Gaussian weights of any σ round-trip and compress.
+	f := func(seed int64, sigmaSel uint8) bool {
+		sigma := 0.001 + float64(sigmaSel)/256.0 // (0.001, 1.0)
+		// Tile-aligned shape so padding does not dilute the ratio.
+		m := gaussianMatrix(t, 64, 64, sigma, seed)
+		cm, err := Compress(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(cm)
+		if err != nil {
+			return false
+		}
+		return m.Equal(got) && cm.CompressionRatio() > 1.3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+var benchSink *bf16.Matrix
+
+func BenchmarkCompress512(b *testing.B) {
+	m := gaussianMatrix(b, 512, 512, 0.02, 1)
+	b.SetBytes(int64(m.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress512(b *testing.B) {
+	m := gaussianMatrix(b, 512, 512, 0.02, 1)
+	cm, err := Compress(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(m.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Decompress(cm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = out
+	}
+}

@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"zipserv/internal/kvcache"
+)
+
+// Request is one serving request in a trace.
+type Request struct {
+	ID             int
+	ArrivalSeconds float64
+	PromptLen      int
+	OutputLen      int
+}
+
+// RequestMetrics reports per-request serving quality.
+type RequestMetrics struct {
+	ID         int
+	Arrival    float64
+	Admitted   float64 // when KV capacity was granted
+	FirstToken float64 // end of the request's prefill
+	Finished   float64
+
+	TTFT    float64 // time to first token (FirstToken − Arrival)
+	Latency float64 // Finished − Arrival
+}
+
+// TraceStats aggregates a continuous-batching run.
+type TraceStats struct {
+	Requests        int
+	MakespanSeconds float64
+	OutputTokens    int64
+	Throughput      float64 // output tokens / makespan
+
+	MeanTTFT float64
+	MaxTTFT  float64
+	MeanLat  float64
+
+	PeakConcurrency int
+	DecodeSteps     int64
+}
+
+// Serve runs a continuous-batching simulation over the request trace
+// (vLLM-style iteration-level scheduling, §6.5): at every decode step
+// the running batch is whatever fits, arrivals are admitted as KV
+// blocks free up, and finished sequences release capacity immediately.
+// Admission is conservative: a request is admitted only when its full
+// prompt+output KV reservation fits, so no sequence can fail mid
+// flight (real vLLM admits optimistically and preempts; conservative
+// reservation bounds the same capacity effect without modelling
+// preemption).
+func (e *Engine) Serve(reqs []Request) (TraceStats, []RequestMetrics, error) {
+	var st TraceStats
+	if len(reqs) == 0 {
+		return st, nil, fmt.Errorf("engine: empty request trace")
+	}
+	pending := append([]Request(nil), reqs...)
+	sort.SliceStable(pending, func(i, j int) bool {
+		return pending[i].ArrivalSeconds < pending[j].ArrivalSeconds
+	})
+	for _, r := range pending {
+		if r.PromptLen <= 0 || r.OutputLen <= 0 || r.ArrivalSeconds < 0 {
+			return st, nil, fmt.Errorf("engine: request %d invalid (%+v)", r.ID, r)
+		}
+		if e.MaxConcurrent(r.PromptLen+r.OutputLen) == 0 {
+			return st, nil, fmt.Errorf("engine: request %d (%d tokens) can never fit in KV memory",
+				r.ID, r.PromptLen+r.OutputLen)
+		}
+	}
+
+	mgr, err := kvcache.NewManager(kvcache.Config{
+		BlockTokens: kvcache.DefaultBlockTokens,
+		TotalBlocks: e.plan.Blocks,
+	})
+	if err != nil {
+		return st, nil, err
+	}
+
+	type running struct {
+		req       Request
+		metrics   *RequestMetrics
+		remaining int // output tokens still to produce
+		ctx       int // current context length
+		reserved  int // blocks reserved beyond those allocated
+	}
+	var (
+		now            float64
+		active         []*running
+		done           []RequestMetrics
+		nextIdx        int
+		reservedBlocks int
+	)
+	blocksFor := func(tokens int) int {
+		return (tokens + kvcache.DefaultBlockTokens - 1) / kvcache.DefaultBlockTokens
+	}
+
+	admit := func() []*running {
+		var admitted []*running
+		for nextIdx < len(pending) && pending[nextIdx].ArrivalSeconds <= now {
+			r := pending[nextIdx]
+			need := blocksFor(r.PromptLen + r.OutputLen)
+			if need > mgr.FreeBlocks()-reservedBlocks {
+				break // FIFO admission: do not starve the head of line
+			}
+			if err := mgr.Allocate(r.ID, r.PromptLen); err != nil {
+				break
+			}
+			res := need - blocksFor(r.PromptLen)
+			reservedBlocks += res
+			rm := &RequestMetrics{ID: r.ID, Arrival: r.ArrivalSeconds, Admitted: now}
+			admitted = append(admitted, &running{
+				req: r, metrics: rm, remaining: r.OutputLen, ctx: r.PromptLen, reserved: res,
+			})
+			nextIdx++
+		}
+		return admitted
+	}
+
+	for len(done) < len(pending) {
+		// Jump to the next arrival if the system is idle.
+		if len(active) == 0 && nextIdx < len(pending) && pending[nextIdx].ArrivalSeconds > now {
+			now = pending[nextIdx].ArrivalSeconds
+		}
+
+		// Admit and prefill new arrivals as one batch.
+		if newcomers := admit(); len(newcomers) > 0 {
+			maxPrompt := 0
+			for _, r := range newcomers {
+				if r.req.PromptLen > maxPrompt {
+					maxPrompt = r.req.PromptLen
+				}
+			}
+			now += e.PrefillTime(len(newcomers), maxPrompt)
+			for _, r := range newcomers {
+				r.metrics.FirstToken = now
+				r.metrics.TTFT = now - r.metrics.Arrival
+				r.remaining-- // the prefill emits the first token
+				st.OutputTokens++
+				active = append(active, r)
+			}
+		}
+		if len(active) > st.PeakConcurrency {
+			st.PeakConcurrency = len(active)
+		}
+		if len(active) == 0 {
+			if nextIdx >= len(pending) {
+				break // nothing active, nothing pending: all done
+			}
+			continue
+		}
+
+		// One decode step across the whole running batch.
+		b := len(active)
+		sumCtx := 0
+		for _, r := range active {
+			sumCtx += r.ctx
+		}
+		now += e.stepGEMMTime(b) + e.attentionTimeTotal(sumCtx) + e.otherTime() + e.allReduceTime(b)
+		st.DecodeSteps++
+
+		next := active[:0]
+		for _, r := range active {
+			if r.remaining > 0 {
+				if err := mgr.AppendToken(r.req.ID); err != nil {
+					return st, nil, fmt.Errorf("engine: reservation violated for request %d: %w", r.req.ID, err)
+				}
+				// Consume reservation as real blocks are claimed.
+				if used := blocksFor(r.ctx + 1); used > blocksFor(r.ctx) && r.reserved > 0 {
+					r.reserved--
+					reservedBlocks--
+				}
+				r.ctx++
+				r.remaining--
+				st.OutputTokens++
+			}
+			if r.remaining == 0 {
+				r.metrics.Finished = now
+				r.metrics.Latency = now - r.metrics.Arrival
+				done = append(done, *r.metrics)
+				reservedBlocks -= r.reserved
+				if err := mgr.Free(r.req.ID); err != nil {
+					return st, nil, err
+				}
+			} else {
+				next = append(next, r)
+			}
+		}
+		active = next
+	}
+
+	if err := mgr.CheckInvariants(); err != nil {
+		return st, nil, fmt.Errorf("engine: allocator corrupted after trace: %w", err)
+	}
+	if mgr.UsedBlocks() != 0 || reservedBlocks != 0 {
+		return st, nil, fmt.Errorf("engine: %d blocks leaked, %d reservations leaked", mgr.UsedBlocks(), reservedBlocks)
+	}
+
+	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	st.Requests = len(done)
+	st.MakespanSeconds = now
+	if now > 0 {
+		st.Throughput = float64(st.OutputTokens) / now
+	}
+	var ttftSum, latSum float64
+	for _, m := range done {
+		ttftSum += m.TTFT
+		latSum += m.Latency
+		st.MaxTTFT = math.Max(st.MaxTTFT, m.TTFT)
+	}
+	st.MeanTTFT = ttftSum / float64(len(done))
+	st.MeanLat = latSum / float64(len(done))
+	return st, done, nil
+}
+
+// attentionTimeTotal prices a decode attention sweep over a batch with
+// heterogeneous context lengths (sumCtx = Σ per-sequence contexts).
+func (e *Engine) attentionTimeTotal(sumCtx int) float64 {
+	eff := pagedAttnEff
+	if e.cfg.Backend == BackendTransformers || e.cfg.Backend == BackendDFloat11 {
+		eff = eagerAttnEff
+	}
+	bytes := int64(sumCtx) * e.cfg.Model.KVBytesPerToken() / int64(e.cfg.NumGPUs)
+	return float64(bytes)/(e.cfg.Device.MemBWGBps*1e9*eff) +
+		float64(e.cfg.Model.NumLayers)*1e-6*5
+}
+
+// SyntheticTrace generates a deterministic Poisson-arrival request
+// trace: exponential inter-arrival times at the given rate (requests
+// per second) and geometric-ish prompt/output length jitter around the
+// supplied means.
+func SyntheticTrace(n int, ratePerSec float64, meanPrompt, meanOutput int, seed int64) []Request {
+	if n <= 0 || ratePerSec <= 0 || meanPrompt <= 0 || meanOutput <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / ratePerSec
+		jitter := func(mean int) int {
+			v := int(float64(mean) * (0.5 + rng.Float64())) // uniform [0.5, 1.5)·mean
+			if v < 1 {
+				v = 1
+			}
+			return v
+		}
+		reqs[i] = Request{
+			ID:             i,
+			ArrivalSeconds: t,
+			PromptLen:      jitter(meanPrompt),
+			OutputLen:      jitter(meanOutput),
+		}
+	}
+	return reqs
+}

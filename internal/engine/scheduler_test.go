@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestServeBasicTrace(t *testing.T) {
+	e := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendZipServ)
+	reqs := []Request{
+		{ID: 0, ArrivalSeconds: 0, PromptLen: 64, OutputLen: 32},
+		{ID: 1, ArrivalSeconds: 0.01, PromptLen: 64, OutputLen: 32},
+		{ID: 2, ArrivalSeconds: 5.0, PromptLen: 128, OutputLen: 16},
+	}
+	st, per, err := e.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 || len(per) != 3 {
+		t.Fatalf("completed %d/%d requests", st.Requests, len(per))
+	}
+	wantTokens := int64(32 + 32 + 16)
+	if st.OutputTokens != wantTokens {
+		t.Errorf("OutputTokens = %d, want %d", st.OutputTokens, wantTokens)
+	}
+	for _, m := range per {
+		if m.TTFT < 0 || m.Latency <= 0 {
+			t.Errorf("request %d: TTFT %.4f latency %.4f", m.ID, m.TTFT, m.Latency)
+		}
+		if m.Finished < m.FirstToken || m.FirstToken < m.Arrival {
+			t.Errorf("request %d: time ordering violated (%+v)", m.ID, m)
+		}
+	}
+	// Request 2 arrives after a quiet period: its TTFT should be just
+	// its own prefill, far below the makespan.
+	if per[2].TTFT > 1.0 {
+		t.Errorf("request 2 TTFT %.3f s, want near-instant admission", per[2].TTFT)
+	}
+	if st.PeakConcurrency < 2 {
+		t.Errorf("peak concurrency %d, want >= 2 (requests 0/1 overlap)", st.PeakConcurrency)
+	}
+}
+
+func TestServeDeterministic(t *testing.T) {
+	e := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendZipServ)
+	trace := SyntheticTrace(40, 20, 64, 48, 7)
+	a, _, err := e.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := e.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same trace gave different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	e := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendZipServ)
+	if _, _, err := e.Serve(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, _, err := e.Serve([]Request{{ID: 0, PromptLen: 0, OutputLen: 4}}); err == nil {
+		t.Error("zero prompt accepted")
+	}
+	if _, _, err := e.Serve([]Request{{ID: 0, ArrivalSeconds: -1, PromptLen: 4, OutputLen: 4}}); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, _, err := e.Serve([]Request{{ID: 0, PromptLen: 10, OutputLen: 100_000_000}}); err == nil {
+		t.Error("impossible request accepted")
+	}
+}
+
+func TestServeQueueingUnderLoad(t *testing.T) {
+	// Higher arrival rates must raise TTFT (queueing for KV capacity
+	// and batch slots), while throughput saturates.
+	e := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendZipServ)
+	slow, _, err := e.Serve(SyntheticTrace(30, 2, 128, 64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _, err := e.Serve(SyntheticTrace(30, 2000, 128, 64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.MeanTTFT <= slow.MeanTTFT {
+		t.Errorf("TTFT did not grow under load: %.4f (slow) vs %.4f (fast)", slow.MeanTTFT, fast.MeanTTFT)
+	}
+	if fast.PeakConcurrency <= slow.PeakConcurrency {
+		t.Errorf("peak concurrency did not grow under load: %d vs %d",
+			slow.PeakConcurrency, fast.PeakConcurrency)
+	}
+}
+
+func TestServeZipServBeatsVLLMOnTrace(t *testing.T) {
+	// The Figure 16 effect under continuous batching: the compressed
+	// backend finishes the same open-loop trace sooner.
+	trace := SyntheticTrace(60, 50, 128, 256, 11)
+	zip := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendZipServ)
+	vllm := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendVLLM)
+	zs, _, err := zip.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _, err := vllm.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.MakespanSeconds >= vs.MakespanSeconds {
+		t.Errorf("ZipServ makespan %.2f s not below vLLM %.2f s", zs.MakespanSeconds, vs.MakespanSeconds)
+	}
+	if zs.Throughput <= vs.Throughput {
+		t.Errorf("ZipServ trace throughput %.1f not above vLLM %.1f", zs.Throughput, vs.Throughput)
+	}
+}
+
+func TestServeCapacityPressureConcurrency(t *testing.T) {
+	// Long-context requests under a flood large enough that both
+	// backends hit their KV ceiling: the compressed backend's extra
+	// capacity admits more concurrent sequences.
+	trace := SyntheticTrace(80, 10000, 256, 1536, 13)
+	zip := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendZipServ)
+	vllm := newEngine(t, "LLaMA3.1-8B", "RTX4090", 1, BackendVLLM)
+	zs, _, err := zip.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _, err := vllm.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.PeakConcurrency <= vs.PeakConcurrency {
+		t.Errorf("ZipServ peak concurrency %d not above vLLM %d under capacity pressure",
+			zs.PeakConcurrency, vs.PeakConcurrency)
+	}
+}
+
+func TestSyntheticTrace(t *testing.T) {
+	tr := SyntheticTrace(50, 10, 128, 64, 1)
+	if len(tr) != 50 {
+		t.Fatalf("trace has %d requests, want 50", len(tr))
+	}
+	prev := 0.0
+	for i, r := range tr {
+		if r.ID != i {
+			t.Errorf("request %d has ID %d", i, r.ID)
+		}
+		if r.ArrivalSeconds < prev {
+			t.Error("arrivals not monotonically non-decreasing")
+		}
+		prev = r.ArrivalSeconds
+		if r.PromptLen < 64 || r.PromptLen > 192 {
+			t.Errorf("prompt %d outside jitter band", r.PromptLen)
+		}
+		if r.OutputLen < 32 || r.OutputLen > 96 {
+			t.Errorf("output %d outside jitter band", r.OutputLen)
+		}
+	}
+	// Deterministic.
+	tr2 := SyntheticTrace(50, 10, 128, 64, 1)
+	for i := range tr {
+		if tr[i] != tr2[i] {
+			t.Fatal("trace generation not deterministic")
+		}
+	}
+	// Degenerate parameters return nil.
+	if SyntheticTrace(0, 10, 1, 1, 1) != nil || SyntheticTrace(5, 0, 1, 1, 1) != nil {
+		t.Error("degenerate trace parameters accepted")
+	}
+}

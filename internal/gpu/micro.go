@@ -1,0 +1,75 @@
+package gpu
+
+import (
+	"zipserv/internal/codec"
+)
+
+// Micro reproduces the Nsight-Compute-style micro-level analysis of
+// Figure 12 for one GEMM shape: the instruction mix of the on-the-fly
+// decoder (12a), the DRAM traffic reduction and pipe utilisations
+// (12b), and shared-memory bank conflicts (12c).
+type Micro struct {
+	Shape    Shape
+	Elements int64
+
+	// Decode instruction totals on the integer pipe (Figure 12a).
+	LOP3, IADD, SHF, POPC float64
+
+	// DRAM read traffic, dense vs fused (Figure 12b: −29.3%).
+	DRAMReadDense, DRAMReadZip int64
+	DRAMReduction              float64 // fraction saved
+
+	// Pipe utilisations (Figure 12b): ZipGEMM's Tensor Core
+	// utilisation relative to cuBLAS, and its ALU utilisation.
+	TCUtilVsCuBLAS float64
+	ALUUtil        float64
+
+	// Shared-memory bank conflicts (Figure 12c).
+	BankConflictsZipServ float64
+	BankConflictsDietGPU float64
+}
+
+// InstructionRates returns the decoder's expected per-element
+// instruction counts for an n-bit codeword with the given coverage,
+// broken down by opcode class. The totals agree with
+// core.DecodeALUOpsPerElement and are cross-checked against the
+// functional decoder's Counters in tests.
+func InstructionRates(n int, coverage float64) (lop3, iadd, shf, popc float64) {
+	lop3 = float64(n-1)/2 + 1 + coverage*float64(n-1+2)
+	iadd = 1 + coverage + (1 - coverage)
+	shf = 2 + coverage*float64(n+2)
+	popc = 1
+	return lop3, iadd, shf, popc
+}
+
+// MicroAnalysis computes the Figure 12 profile for one shape on one
+// device.
+func MicroAnalysis(spec Spec, s Shape, comp Compression) Micro {
+	elems := int64(s.M) * int64(s.K)
+	lop3, iadd, shf, popc := InstructionRates(comp.CodewordBits, comp.Coverage)
+
+	dense := s.WeightBytes() + s.ActivationBytes()
+	zipped := comp.CompressedWeightBytes(s) + s.ActivationBytes()
+
+	zip := ZipGEMM(spec, s, comp)
+	alUtil := zip.ALU / zip.Total
+
+	return Micro{
+		Shape:    s,
+		Elements: elems,
+		LOP3:     lop3 * float64(elems),
+		IADD:     iadd * float64(elems),
+		SHF:      shf * float64(elems),
+		POPC:     popc * float64(elems),
+
+		DRAMReadDense: dense,
+		DRAMReadZip:   zipped,
+		DRAMReduction: 1 - float64(zipped)/float64(dense),
+
+		TCUtilVsCuBLAS: effTCZip / effTCCuBLAS,
+		ALUUtil:        alUtil,
+
+		BankConflictsZipServ: codecProfiles[codec.NameZipServ].conflictsPerElem * float64(elems),
+		BankConflictsDietGPU: codecProfiles[codec.NameDietGPU].conflictsPerElem * float64(elems),
+	}
+}

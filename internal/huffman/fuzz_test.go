@@ -1,0 +1,58 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks bit-exactness of encode→decode for arbitrary
+// inputs and chunk sizes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("hello hello hello"), uint16(4))
+	f.Add([]byte{0}, uint16(1))
+	f.Add(bytes.Repeat([]byte{1, 2, 3}, 100), uint16(7))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSel uint16) {
+		if len(data) == 0 {
+			return
+		}
+		chunk := int(chunkSel)%4096 + 1
+		s, err := Encode(data, chunk)
+		if err != nil {
+			t.Fatalf("Encode rejected valid input: %v", err)
+		}
+		got, err := s.Decode()
+		if err != nil {
+			t.Fatalf("Decode failed on fresh stream: %v", err)
+		}
+		if !bytes.Equal(data, got) {
+			t.Fatal("round trip not bit-exact")
+		}
+	})
+}
+
+// FuzzDecodeRobustness mutates encoded streams: Decode must never
+// panic, and must never silently return data longer than declared.
+func FuzzDecodeRobustness(f *testing.F) {
+	base, err := Encode([]byte("the quick brown fox jumps over the lazy dog"), 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base.Bits, 44, uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, bits []byte, numSymbols int, lensIdx, lensVal uint8) {
+		if numSymbols <= 0 || numSymbols > 1<<16 {
+			return
+		}
+		s := &Stream{
+			CodeLens:     base.CodeLens,
+			Bits:         bits,
+			ChunkBitOff:  []uint64{0},
+			ChunkSymbols: numSymbols,
+			NumSymbols:   numSymbols,
+		}
+		s.CodeLens[lensIdx] = lensVal % (MaxCodeLen + 2)
+		got, err := s.Decode()
+		if err == nil && len(got) != numSymbols {
+			t.Fatalf("Decode returned %d symbols, declared %d", len(got), numSymbols)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"zipserv/internal/bf16"
+	"zipserv/internal/core"
+)
+
+// CompressedStore holds KV blocks in TCA-TBE form — the paper's first
+// future-work direction (§7): "the TCA-TBE format can be adapted for
+// lossless KV Cache compression". Each block's K/V tensor is laid out
+// as a (blockTokens × headBytes) BF16 matrix and compressed with the
+// same triple-bitmap codec as the weights, so reads remain bit-exact
+// and the decode path reuses ZipGEMM's thread-local decompressor.
+type CompressedStore struct {
+	blocks map[int]*storedBlock
+
+	origBytes int64
+	compBytes int64
+}
+
+// storedBlock keeps the compressed tensor plus the original geometry:
+// KV blocks are short and wide (blockTokens rows), so they are
+// reshaped into 64-row, tile-aligned form before encoding to avoid
+// paying BlockTile padding, and restored on Get.
+type storedBlock struct {
+	cm         *core.Compressed
+	rows, cols int
+}
+
+// NewCompressedStore returns an empty store.
+func NewCompressedStore() *CompressedStore {
+	return &CompressedStore{blocks: make(map[int]*storedBlock)}
+}
+
+// Put compresses and stores the KV tensor of a block, replacing any
+// previous content.
+func (s *CompressedStore) Put(blockID int, kv *bf16.Matrix) error {
+	reshaped := reshapeForTiles(kv)
+	cm, err := core.Compress(reshaped)
+	if err != nil {
+		return fmt.Errorf("kvcache: compressing block %d: %w", blockID, err)
+	}
+	if old, ok := s.blocks[blockID]; ok {
+		s.origBytes -= int64(2 * old.rows * old.cols)
+		s.compBytes -= int64(old.cm.SizeBytes())
+	}
+	s.blocks[blockID] = &storedBlock{cm: cm, rows: kv.Rows, cols: kv.Cols}
+	s.origBytes += int64(kv.SizeBytes())
+	s.compBytes += int64(cm.SizeBytes())
+	return nil
+}
+
+// Get decompresses a block bit-exactly in its original shape.
+func (s *CompressedStore) Get(blockID int) (*bf16.Matrix, error) {
+	sb, ok := s.blocks[blockID]
+	if !ok {
+		return nil, fmt.Errorf("kvcache: block %d not in store", blockID)
+	}
+	flat, err := core.Decompress(sb.cm)
+	if err != nil {
+		return nil, err
+	}
+	out := &bf16.Matrix{Rows: sb.rows, Cols: sb.cols, Data: flat.Data[:sb.rows*sb.cols]}
+	return out, nil
+}
+
+// Delete removes a block.
+func (s *CompressedStore) Delete(blockID int) {
+	if old, ok := s.blocks[blockID]; ok {
+		s.origBytes -= int64(2 * old.rows * old.cols)
+		s.compBytes -= int64(old.cm.SizeBytes())
+		delete(s.blocks, blockID)
+	}
+}
+
+// reshapeForTiles views the tensor's elements as a 64-row matrix so
+// the 64×64 BlockTile grid wastes at most one partial column of tiles
+// instead of 3/4 of every block. Element order is preserved, so the
+// reshape is invisible to callers.
+func reshapeForTiles(kv *bf16.Matrix) *bf16.Matrix {
+	n := kv.NumElements()
+	if n == 0 || kv.Rows%64 == 0 {
+		return kv
+	}
+	cols := (n + 63) / 64
+	flat := make([]bf16.BF16, 64*cols)
+	copy(flat, kv.Data)
+	return &bf16.Matrix{Rows: 64, Cols: cols, Data: flat}
+}
+
+// Len returns the number of stored blocks.
+func (s *CompressedStore) Len() int { return len(s.blocks) }
+
+// Ratio returns the aggregate compression ratio of the stored blocks.
+func (s *CompressedStore) Ratio() float64 {
+	if s.compBytes == 0 {
+		return 0
+	}
+	return float64(s.origBytes) / float64(s.compBytes)
+}
+
+// CompressedBytes returns the stored footprint.
+func (s *CompressedStore) CompressedBytes() int64 { return s.compBytes }

@@ -1,0 +1,174 @@
+// Package quant implements symmetric per-channel int8 weight
+// quantization (the W8A16 regime of Marlin-class kernels) and its
+// composition with lossless entropy coding — the §7 claim that
+// "ZipServ is orthogonal to lossy methods and can be applied atop
+// quantized weights to exploit residual redundancy" (citing the
+// Ecco/DECA line of work).
+//
+// Quantized int8 weights drawn from Gaussian BF16 weights are NOT
+// uniformly distributed: they follow a discrete bell curve with
+// entropy well below 8 bits, so a lossless coder shrinks them further
+// with zero additional error. CompressQuantized measures exactly that
+// residual redundancy with the same rANS coder used by the DietGPU
+// baseline.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"zipserv/internal/bf16"
+	"zipserv/internal/rans"
+)
+
+// Matrix is a per-row symmetrically quantized int8 weight matrix:
+// W[r][c] ≈ Q[r][c] × Scales[r].
+type Matrix struct {
+	Rows, Cols int
+	Q          []int8
+	Scales     []float32 // one positive scale per row (0 for all-zero rows)
+}
+
+// Quantize converts a BF16 matrix to int8 with per-row max-abs
+// scaling. Non-finite inputs are rejected: lossy quantization of NaN
+// or Inf weights has no meaningful round trip.
+func Quantize(m *bf16.Matrix) (*Matrix, error) {
+	if m.Rows <= 0 || m.Cols <= 0 {
+		return nil, fmt.Errorf("quant: empty matrix %d×%d", m.Rows, m.Cols)
+	}
+	q := &Matrix{
+		Rows: m.Rows, Cols: m.Cols,
+		Q:      make([]int8, m.Rows*m.Cols),
+		Scales: make([]float32, m.Rows),
+	}
+	for r := 0; r < m.Rows; r++ {
+		maxAbs := float64(0)
+		for c := 0; c < m.Cols; c++ {
+			w := m.At(r, c)
+			if w.IsNaN() || w.IsInf() {
+				return nil, fmt.Errorf("quant: non-finite weight at (%d,%d)", r, c)
+			}
+			if a := math.Abs(w.Float64()); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue // all-zero row: scale 0, all q = 0
+		}
+		scale := maxAbs / 127
+		q.Scales[r] = float32(scale)
+		for c := 0; c < m.Cols; c++ {
+			v := math.RoundToEven(m.At(r, c).Float64() / scale)
+			if v > 127 {
+				v = 127
+			}
+			if v < -127 {
+				v = -127
+			}
+			q.Q[r*m.Cols+c] = int8(v)
+		}
+	}
+	return q, nil
+}
+
+// Dequantize reconstructs BF16 weights (lossy: within half a scale
+// step of the original).
+func (q *Matrix) Dequantize() *bf16.Matrix {
+	m := bf16.NewMatrix(q.Rows, q.Cols)
+	for r := 0; r < q.Rows; r++ {
+		s := float64(q.Scales[r])
+		for c := 0; c < q.Cols; c++ {
+			m.Set(r, c, bf16.FromFloat32(float32(float64(q.Q[r*q.Cols+c])*s)))
+		}
+	}
+	return m
+}
+
+// SizeBytes returns the quantized footprint: one byte per element plus
+// 4 bytes per row scale.
+func (q *Matrix) SizeBytes() int { return len(q.Q) + 4*len(q.Scales) }
+
+// BitsPerElement returns the effective storage per weight.
+func (q *Matrix) BitsPerElement() float64 {
+	return 8 * float64(q.SizeBytes()) / float64(q.Rows*q.Cols)
+}
+
+// MaxAbsError returns the largest absolute reconstruction error
+// against the original matrix, and the theoretical bound (half a step
+// of the coarsest row, plus BF16 rounding).
+func (q *Matrix) MaxAbsError(orig *bf16.Matrix) (gotMax, bound float64) {
+	deq := q.Dequantize()
+	for r := 0; r < q.Rows; r++ {
+		// Half a quantization step (0.5·scale) plus BF16 rounding of
+		// the reconstruction, which near the row maximum of 127·scale
+		// is up to half a BF16 ULP ≈ 127·scale/256 ≈ 0.496·scale.
+		rowBound := float64(q.Scales[r]) * 1.0
+		if rowBound > bound {
+			bound = rowBound
+		}
+		for c := 0; c < q.Cols; c++ {
+			d := math.Abs(orig.At(r, c).Float64() - deq.At(r, c).Float64())
+			if d > gotMax {
+				gotMax = d
+			}
+		}
+	}
+	return gotMax, bound
+}
+
+// Compressed is a quantized matrix whose int8 stream has additionally
+// been entropy coded (lossless on top of lossy).
+type Compressed struct {
+	Rows, Cols int
+	Scales     []float32
+	Stream     *rans.Stream
+}
+
+// CompressQuantized entropy codes the int8 stream of q with rANS,
+// exploiting the discrete-Gaussian redundancy the lossy step leaves
+// behind. The composition is bit-exact with respect to q (the lossy
+// error budget does not grow).
+func CompressQuantized(q *Matrix) (*Compressed, error) {
+	bytes := make([]byte, len(q.Q))
+	for i, v := range q.Q {
+		bytes[i] = byte(int(v) + 128)
+	}
+	stream, err := rans.Encode(bytes, 0)
+	if err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
+	return &Compressed{
+		Rows: q.Rows, Cols: q.Cols,
+		Scales: append([]float32(nil), q.Scales...),
+		Stream: stream,
+	}, nil
+}
+
+// Decompress reconstructs the quantized matrix exactly.
+func (c *Compressed) Decompress() (*Matrix, error) {
+	bytes, err := c.Stream.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
+	if len(bytes) != c.Rows*c.Cols {
+		return nil, fmt.Errorf("quant: decoded %d values for %d×%d", len(bytes), c.Rows, c.Cols)
+	}
+	q := &Matrix{
+		Rows: c.Rows, Cols: c.Cols,
+		Q:      make([]int8, len(bytes)),
+		Scales: append([]float32(nil), c.Scales...),
+	}
+	for i, b := range bytes {
+		q.Q[i] = int8(int(b) - 128)
+	}
+	return q, nil
+}
+
+// SizeBytes returns the doubly compressed footprint.
+func (c *Compressed) SizeBytes() int { return c.Stream.SizeBytes() + 4*len(c.Scales) }
+
+// BitsPerElement returns the effective storage per weight after both
+// stages.
+func (c *Compressed) BitsPerElement() float64 {
+	return 8 * float64(c.SizeBytes()) / float64(c.Rows*c.Cols)
+}

@@ -1,0 +1,188 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"zipserv/internal/bf16"
+	"zipserv/internal/weights"
+)
+
+func TestQuantizeErrorBound(t *testing.T) {
+	w := weights.Gaussian(128, 256, 0.02, 1)
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMax, bound := q.MaxAbsError(w)
+	if gotMax > bound {
+		t.Errorf("max error %.3g exceeds bound %.3g", gotMax, bound)
+	}
+	if gotMax == 0 {
+		t.Error("quantization reports zero error on random weights — suspicious")
+	}
+	if bpe := q.BitsPerElement(); bpe < 8 || bpe > 8.5 {
+		t.Errorf("W8 bits/element %.3f outside [8, 8.5]", bpe)
+	}
+}
+
+func TestQuantizePerRowScales(t *testing.T) {
+	m := bf16.NewMatrix(2, 2)
+	m.Set(0, 0, bf16.FromFloat32(1))
+	m.Set(0, 1, bf16.FromFloat32(-0.5))
+	m.Set(1, 0, bf16.FromFloat32(100))
+	m.Set(1, 1, bf16.FromFloat32(50))
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row maxima map to ±127 exactly.
+	if q.Q[0] != 127 || q.Q[2] != 127 {
+		t.Errorf("row maxima quantize to %d/%d, want 127/127", q.Q[0], q.Q[2])
+	}
+	if q.Scales[1] <= q.Scales[0] {
+		t.Error("second row must have a larger scale")
+	}
+}
+
+func TestQuantizeZeroRow(t *testing.T) {
+	m := bf16.NewMatrix(3, 4)
+	m.Set(1, 2, bf16.FromFloat32(2)) // only row 1 is non-zero
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Scales[0] != 0 || q.Scales[2] != 0 {
+		t.Error("all-zero rows must have scale 0")
+	}
+	deq := q.Dequantize()
+	for c := 0; c < 4; c++ {
+		if deq.At(0, c).Float32() != 0 || deq.At(2, c).Float32() != 0 {
+			t.Error("zero rows must dequantize to zero")
+		}
+	}
+	if deq.At(1, 2).Float32() != 2 {
+		t.Errorf("row max dequantized to %g, want 2", deq.At(1, 2).Float32())
+	}
+}
+
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	m := bf16.NewMatrix(2, 2)
+	m.Set(0, 0, bf16.FromBits(0x7FC0)) // NaN
+	if _, err := Quantize(m); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	m.Set(0, 0, bf16.FromBits(0x7F80)) // +Inf
+	if _, err := Quantize(m); err == nil {
+		t.Error("Inf weight accepted")
+	}
+	if _, err := Quantize(&bf16.Matrix{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	// Quantizing the dequantized matrix reproduces the same codes:
+	// the lossy step is a projection.
+	w := weights.Gaussian(64, 64, 0.02, 2)
+	q1, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Quantize(q1.Dequantize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := range q1.Q {
+		if q1.Q[i] != q2.Q[i] {
+			diffs++
+		}
+	}
+	// BF16 rounding of the dequantized values can nudge a handful of
+	// codes by one step; the projection must be essentially stable.
+	if frac := float64(diffs) / float64(len(q1.Q)); frac > 0.02 {
+		t.Errorf("%.2f%% of codes changed on requantization, want < 2%%", frac*100)
+	}
+}
+
+func TestResidualRedundancyCompresses(t *testing.T) {
+	// §7: int8 weights from Gaussian BF16 keep a discrete-Gaussian
+	// shape (σ_q ≈ 127/maxAbsZ ≈ 35–45 ⇒ entropy ≈ 7.2–7.6 bits), so
+	// lossless coding on top of W8 gains a further ~5–12% with zero
+	// extra error.
+	w := weights.Gaussian(256, 256, 0.02, 3)
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompressQuantized(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := float64(q.SizeBytes()) / float64(cq.SizeBytes()); gain < 1.05 {
+		t.Errorf("residual-redundancy gain %.3f < 1.05", gain)
+	}
+	if bpe := cq.BitsPerElement(); bpe >= 8 {
+		t.Errorf("composite bits/element %.2f, want < 8", bpe)
+	}
+
+	back, err := cq.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Q) != len(q.Q) {
+		t.Fatal("decompressed length mismatch")
+	}
+	for i := range q.Q {
+		if back.Q[i] != q.Q[i] {
+			t.Fatalf("int8 stream not bit-exact at %d", i)
+		}
+	}
+	for r := range q.Scales {
+		if back.Scales[r] != q.Scales[r] {
+			t.Fatalf("scale %d not preserved", r)
+		}
+	}
+	// Composition does not grow the lossy error budget.
+	e1, _ := q.MaxAbsError(w)
+	e2, _ := back.MaxAbsError(w)
+	if e1 != e2 {
+		t.Errorf("error changed through lossless stage: %.3g vs %.3g", e1, e2)
+	}
+}
+
+func TestCompressedDecompressRejectsBadShape(t *testing.T) {
+	w := weights.Gaussian(32, 32, 0.02, 4)
+	q, err := Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompressQuantized(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq.Rows = 999 // shape no longer matches the stream
+	if _, err := cq.Decompress(); err == nil {
+		t.Error("mismatched shape accepted")
+	}
+}
+
+func TestQuickQuantizeBounded(t *testing.T) {
+	// Property: for any finite Gaussian weights, every reconstruction
+	// error is within the per-row bound.
+	f := func(seed int64, sigmaSel uint8) bool {
+		sigma := 0.005 + float64(sigmaSel)/512.0
+		w := weights.Gaussian(32, 48, sigma, seed)
+		q, err := Quantize(w)
+		if err != nil {
+			return false
+		}
+		gotMax, bound := q.MaxAbsError(w)
+		return gotMax <= bound+1e-12 && !math.IsNaN(gotMax)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package rans
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks bit-exactness of encode→decode for arbitrary
+// inputs and chunk sizes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("asymmetric numeral systems"), uint16(4))
+	f.Add([]byte{255}, uint16(1))
+	f.Add(bytes.Repeat([]byte{9, 9, 1}, 200), uint16(64))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSel uint16) {
+		if len(data) == 0 {
+			return
+		}
+		chunk := int(chunkSel)%4096 + 1
+		s, err := Encode(data, chunk)
+		if err != nil {
+			t.Fatalf("Encode rejected valid input: %v", err)
+		}
+		got, err := s.Decode()
+		if err != nil {
+			t.Fatalf("Decode failed on fresh stream: %v", err)
+		}
+		if !bytes.Equal(data, got) {
+			t.Fatal("round trip not bit-exact")
+		}
+	})
+}
+
+// FuzzDecodeRobustness mutates chunk payloads: Decode must never panic
+// and must detect stream corruption via the final-state check or
+// payload exhaustion in the overwhelming majority of mutations.
+func FuzzDecodeRobustness(f *testing.F) {
+	base, err := Encode(bytes.Repeat([]byte{7, 7, 7, 3, 1}, 500), 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base.Chunks[0], 512)
+	f.Fuzz(func(t *testing.T, payload []byte, count int) {
+		if count <= 0 || count > 1<<15 {
+			return
+		}
+		s := &Stream{
+			Freqs:        base.Freqs,
+			Chunks:       [][]byte{payload},
+			ChunkSymbols: count,
+			NumSymbols:   count,
+		}
+		got, err := s.Decode()
+		if err == nil && len(got) != count {
+			t.Fatalf("Decode returned %d symbols, declared %d", len(got), count)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+// Package rans implements range Asymmetric Numeral Systems (rANS)
+// coding over byte streams, the entropy coder behind the DietGPU and
+// nvCOMP baselines of the ZipServ paper (§3.2). It is a complete,
+// lossless byte-oriented rANS with 12-bit normalised frequencies and
+// byte-granular renormalisation, encoded in chunks so a GPU-style
+// decoder can assign one thread per chunk — at the cost of per-chunk
+// state and offset metadata, the overhead the paper's Figure 1 and
+// Figure 13 quantify.
+package rans
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// ProbBits is the precision of normalised symbol frequencies
+	// (12 bits = 4096 total), the value DietGPU uses.
+	ProbBits  = 12
+	probScale = 1 << ProbBits
+
+	// ransLow is the renormalisation lower bound of the encoder state.
+	ransLow = 1 << 23
+
+	// DefaultChunkSymbols is the per-chunk symbol count. DietGPU
+	// decodes with very fine interleaving; 4096 symbols per chunk is
+	// its effective per-state granularity.
+	DefaultChunkSymbols = 4096
+)
+
+// Stream is an rANS-encoded byte stream.
+type Stream struct {
+	// Freqs holds the normalised frequency of every byte symbol
+	// (summing to probScale). Zero means the symbol does not occur.
+	Freqs [256]uint16
+
+	// Chunks holds each chunk's independently decodable payload.
+	Chunks [][]byte
+
+	// ChunkSymbols is the number of symbols per chunk (last may be
+	// short).
+	ChunkSymbols int
+
+	// NumSymbols is the total number of encoded symbols.
+	NumSymbols int
+}
+
+// SizeBytes returns the serialized footprint: payloads, the frequency
+// table, per-chunk length metadata, and framing.
+func (s *Stream) SizeBytes() int {
+	total := 512 + 8*len(s.Chunks) + 16 // freq table + chunk offsets + header
+	for _, c := range s.Chunks {
+		total += len(c)
+	}
+	return total
+}
+
+// NumChunks returns the number of independently decodable chunks.
+func (s *Stream) NumChunks() int { return len(s.Chunks) }
+
+// Encode compresses data with the given chunk granularity
+// (DefaultChunkSymbols if <= 0).
+func Encode(data []byte, chunkSymbols int) (*Stream, error) {
+	if len(data) == 0 {
+		return nil, errors.New("rans: cannot encode empty input")
+	}
+	if chunkSymbols <= 0 {
+		chunkSymbols = DefaultChunkSymbols
+	}
+	var freq [256]int64
+	for _, b := range data {
+		freq[b]++
+	}
+	norm, err := normalizeFreqs(freq, int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	cum := cumFreqs(norm)
+
+	s := &Stream{Freqs: norm, ChunkSymbols: chunkSymbols, NumSymbols: len(data)}
+	for start := 0; start < len(data); start += chunkSymbols {
+		end := start + chunkSymbols
+		if end > len(data) {
+			end = len(data)
+		}
+		s.Chunks = append(s.Chunks, encodeChunk(data[start:end], norm, cum))
+	}
+	return s, nil
+}
+
+// Decode reconstructs the original byte stream by decoding each chunk
+// in order.
+func (s *Stream) Decode() ([]byte, error) {
+	if s.NumSymbols == 0 {
+		return nil, errors.New("rans: empty stream")
+	}
+	if err := validateFreqs(s.Freqs); err != nil {
+		return nil, err
+	}
+	slots := buildSlotTable(s.Freqs)
+	cum := cumFreqs(s.Freqs)
+	out := make([]byte, 0, s.NumSymbols)
+	for i, chunk := range s.Chunks {
+		count := s.ChunkSymbols
+		if rem := s.NumSymbols - i*s.ChunkSymbols; rem < count {
+			count = rem
+		}
+		dec, err := decodeChunk(chunk, count, s.Freqs, cum, slots)
+		if err != nil {
+			return nil, fmt.Errorf("rans: chunk %d: %w", i, err)
+		}
+		out = append(out, dec...)
+	}
+	if len(out) != s.NumSymbols {
+		return nil, fmt.Errorf("rans: decoded %d symbols, want %d", len(out), s.NumSymbols)
+	}
+	return out, nil
+}
+
+// DecodeChunk decodes chunk i independently (the unit of GPU thread
+// parallelism).
+func (s *Stream) DecodeChunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(s.Chunks) {
+		return nil, fmt.Errorf("rans: chunk %d out of range [0,%d)", i, len(s.Chunks))
+	}
+	if err := validateFreqs(s.Freqs); err != nil {
+		return nil, err
+	}
+	count := s.ChunkSymbols
+	if rem := s.NumSymbols - i*s.ChunkSymbols; rem < count {
+		count = rem
+	}
+	return decodeChunk(s.Chunks[i], count, s.Freqs, cumFreqs(s.Freqs), buildSlotTable(s.Freqs))
+}
+
+// encodeChunk rANS-encodes symbols back to front. The final state is
+// emitted as a 4-byte little-endian prefix of the payload.
+func encodeChunk(syms []byte, freq [256]uint16, cum [257]uint32) []byte {
+	var buf []byte // renormalisation bytes, reversed at the end
+	x := uint64(ransLow)
+	for i := len(syms) - 1; i >= 0; i-- {
+		sym := syms[i]
+		f := uint64(freq[sym])
+		// Renormalise: stream out low bytes until x fits.
+		xMax := ((ransLow >> ProbBits) << 8) * f
+		for x >= xMax {
+			buf = append(buf, byte(x))
+			x >>= 8
+		}
+		x = (x/f)<<ProbBits + x%f + uint64(cum[sym])
+	}
+	out := make([]byte, 4, 4+len(buf))
+	out[0], out[1], out[2], out[3] = byte(x), byte(x>>8), byte(x>>16), byte(x>>24)
+	// Renormalisation bytes were pushed in reverse order.
+	for i := len(buf) - 1; i >= 0; i-- {
+		out = append(out, buf[i])
+	}
+	return out
+}
+
+// decodeChunk reverses encodeChunk: the data-dependent slot lookup and
+// byte-wise renormalisation are the serial operations §3.2 identifies
+// as hostile to SIMT execution.
+func decodeChunk(payload []byte, count int, freq [256]uint16, cum [257]uint32, slots []byte) ([]byte, error) {
+	if len(payload) < 4 {
+		return nil, errors.New("payload shorter than initial state")
+	}
+	x := uint64(payload[0]) | uint64(payload[1])<<8 | uint64(payload[2])<<16 | uint64(payload[3])<<24
+	pos := 4
+	out := make([]byte, count)
+	for i := 0; i < count; i++ {
+		slot := x & (probScale - 1)
+		sym := slots[slot]
+		f := uint64(freq[sym])
+		x = f*(x>>ProbBits) + slot - uint64(cum[sym])
+		for x < ransLow {
+			if pos >= len(payload) {
+				return nil, errors.New("payload exhausted mid-stream")
+			}
+			x = x<<8 | uint64(payload[pos])
+			pos++
+		}
+		out[i] = sym
+	}
+	if x != ransLow {
+		return nil, fmt.Errorf("final state %#x, want %#x: corrupted stream", x, ransLow)
+	}
+	return out, nil
+}
+
+// normalizeFreqs scales raw counts to sum exactly to probScale,
+// guaranteeing every occurring symbol keeps frequency >= 1.
+func normalizeFreqs(freq [256]int64, total int64) ([256]uint16, error) {
+	var norm [256]uint16
+	if total <= 0 {
+		return norm, errors.New("rans: no symbols")
+	}
+	assigned := int64(0)
+	maxSym, maxVal := -1, int64(-1)
+	for s, f := range freq {
+		if f == 0 {
+			continue
+		}
+		scaled := f * probScale / total
+		if scaled == 0 {
+			scaled = 1
+		}
+		if scaled >= probScale {
+			scaled = probScale - 1
+		}
+		norm[s] = uint16(scaled)
+		assigned += scaled
+		if f > maxVal {
+			maxVal, maxSym = f, s
+		}
+	}
+	// Push the rounding error onto the most frequent symbol.
+	diff := int64(probScale) - assigned
+	adjusted := int64(norm[maxSym]) + diff
+	if adjusted < 1 {
+		return norm, errors.New("rans: frequency normalisation failed (too many rare symbols)")
+	}
+	norm[maxSym] = uint16(adjusted)
+	return norm, nil
+}
+
+func validateFreqs(freqs [256]uint16) error {
+	sum := 0
+	for _, f := range freqs {
+		sum += int(f)
+	}
+	if sum != probScale {
+		return fmt.Errorf("rans: frequency table sums to %d, want %d", sum, probScale)
+	}
+	return nil
+}
+
+func cumFreqs(freq [256]uint16) [257]uint32 {
+	var cum [257]uint32
+	for s := 0; s < 256; s++ {
+		cum[s+1] = cum[s] + uint32(freq[s])
+	}
+	return cum
+}
+
+// buildSlotTable maps each of the probScale slots to its symbol — the
+// lookup table a GPU decoder keeps in shared memory.
+func buildSlotTable(freq [256]uint16) []byte {
+	slots := make([]byte, probScale)
+	pos := 0
+	for s := 0; s < 256; s++ {
+		for i := 0; i < int(freq[s]); i++ {
+			slots[pos] = byte(s)
+			pos++
+		}
+	}
+	return slots
+}

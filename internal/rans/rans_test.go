@@ -1,0 +1,245 @@
+package rans
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte, chunk int) *Stream {
+	t.Helper()
+	s, err := Encode(data, chunk)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := s.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatalf("round trip failed: %d symbols in, %d out", len(data), len(got))
+	}
+	return s
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, []byte("asymmetric numeral systems replace huffman coding"), 0)
+}
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{200}, 5000), 0)
+}
+
+func TestRoundTripSingleByte(t *testing.T) {
+	roundTrip(t, []byte{0}, 0)
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i % 256)
+	}
+	roundTrip(t, data, 0)
+}
+
+func TestEncodeEmptyFails(t *testing.T) {
+	if _, err := Encode(nil, 0); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestSkewedDistributionApproachesEntropy(t *testing.T) {
+	// rANS should land within a few percent of the entropy bound —
+	// tighter than Huffman, which is why DietGPU/nvCOMP chose ANS.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 200000)
+	for i := range data {
+		data[i] = byte(124 + int(rng.NormFloat64()*1.3))
+	}
+	s := roundTrip(t, data, 0)
+	payload := 0
+	for _, c := range s.Chunks {
+		payload += len(c)
+	}
+	bitsPerSym := float64(payload) * 8 / float64(len(data))
+	ent := entropy(data)
+	if bitsPerSym < ent {
+		t.Errorf("%.3f bits/symbol beats entropy %.3f", bitsPerSym, ent)
+	}
+	if bitsPerSym > ent*1.10+0.1 {
+		t.Errorf("%.3f bits/symbol is >10%% above entropy %.3f", bitsPerSym, ent)
+	}
+}
+
+func TestUniformDataDoesNotCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 50000)
+	rng.Read(data)
+	s := roundTrip(t, data, 0)
+	if float64(s.SizeBytes()) < float64(len(data))*0.99 {
+		t.Errorf("uniform bytes compressed to %d bytes from %d", s.SizeBytes(), len(data))
+	}
+}
+
+func TestChunkedDecodeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(100 + rng.Intn(12))
+	}
+	s := roundTrip(t, data, 1024)
+	if s.NumChunks() != 10 {
+		t.Fatalf("NumChunks = %d, want 10", s.NumChunks())
+	}
+	var reassembled []byte
+	for i := 0; i < s.NumChunks(); i++ {
+		chunk, err := s.DecodeChunk(i)
+		if err != nil {
+			t.Fatalf("DecodeChunk(%d): %v", i, err)
+		}
+		reassembled = append(reassembled, chunk...)
+	}
+	if !bytes.Equal(data, reassembled) {
+		t.Error("chunk-parallel decode does not reassemble the stream")
+	}
+}
+
+func TestDecodeChunkOutOfRange(t *testing.T) {
+	s := roundTrip(t, []byte("hello rans"), 4)
+	if _, err := s.DecodeChunk(-1); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	if _, err := s.DecodeChunk(s.NumChunks()); err == nil {
+		t.Error("out-of-range chunk accepted")
+	}
+}
+
+func TestDecodeCorruptedPayloadFails(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 2000)
+	s, err := Encode(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate a chunk payload: the state machine must detect it
+	// either by exhaustion or by a bad final state.
+	s.Chunks[0] = s.Chunks[0][:2]
+	if _, err := s.Decode(); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+}
+
+func TestDecodeCorruptedFreqTableFails(t *testing.T) {
+	data := bytes.Repeat([]byte{5, 6, 7}, 1000)
+	s, err := Encode(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Freqs[5] += 7 // table no longer sums to probScale
+	if _, err := s.Decode(); err == nil {
+		t.Error("invalid frequency table accepted")
+	}
+}
+
+func TestDecodeFlippedByteUsuallyFails(t *testing.T) {
+	// A flipped payload byte must not silently produce the original
+	// data; the final-state check catches the vast majority of flips.
+	data := bytes.Repeat([]byte{9, 9, 9, 9, 1}, 3000)
+	s, err := Encode(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Chunks[0][5] ^= 0xA5
+	got, err := s.Decode()
+	if err == nil && bytes.Equal(got, data) {
+		t.Error("corrupted stream decoded to the original data")
+	}
+}
+
+func TestNormalizeFreqsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		var freq [256]int64
+		total := int64(0)
+		nsyms := 1 + rng.Intn(256)
+		for i := 0; i < nsyms; i++ {
+			f := int64(1 + rng.Intn(10000))
+			freq[rng.Intn(256)] += f
+		}
+		for _, f := range freq {
+			total += f
+		}
+		if total == 0 {
+			continue
+		}
+		norm, err := normalizeFreqs(freq, total)
+		if err != nil {
+			continue // legitimately unnormalisable corner
+		}
+		sum := 0
+		for s := 0; s < 256; s++ {
+			sum += int(norm[s])
+			if freq[s] > 0 && norm[s] == 0 {
+				t.Fatalf("trial %d: occurring symbol %d got zero frequency", trial, s)
+			}
+			if freq[s] == 0 && norm[s] != 0 {
+				t.Fatalf("trial %d: absent symbol %d got frequency %d", trial, s, norm[s])
+			}
+		}
+		if sum != probScale {
+			t.Fatalf("trial %d: normalised sum %d != %d", trial, sum, probScale)
+		}
+	}
+}
+
+func TestSlotTableConsistent(t *testing.T) {
+	data := []byte("slot table consistency check with several symbols")
+	s, err := Encode(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := buildSlotTable(s.Freqs)
+	cum := cumFreqs(s.Freqs)
+	for slot := 0; slot < probScale; slot++ {
+		sym := slots[slot]
+		if uint32(slot) < cum[sym] || uint32(slot) >= cum[sym+1] {
+			t.Fatalf("slot %d maps to symbol %d outside its cumulative range [%d,%d)",
+				slot, sym, cum[sym], cum[sym+1])
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, chunkSel uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		chunk := int(chunkSel)%3000 + 1
+		s, err := Encode(data, chunk)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decode()
+		return err == nil && bytes.Equal(data, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func entropy(data []byte) float64 {
+	var freq [256]float64
+	for _, b := range data {
+		freq[b]++
+	}
+	n := float64(len(data))
+	var h float64
+	for _, f := range freq {
+		if f > 0 {
+			p := f / n
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,255 @@
+package warp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zipserv/internal/core"
+	"zipserv/internal/huffman"
+	"zipserv/internal/weights"
+)
+
+func TestExecUniformLanes(t *testing.T) {
+	var lanes [Lanes][]int
+	for i := range lanes {
+		lanes[i] = []int{3, 3, 3}
+	}
+	r, err := Exec(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LockstepCycles != 9 {
+		t.Errorf("LockstepCycles = %d, want 9", r.LockstepCycles)
+	}
+	if r.Utilisation != 1.0 {
+		t.Errorf("Utilisation = %f, want 1.0 for uniform lanes", r.Utilisation)
+	}
+	if r.DivergenceFactor != 1.0 {
+		t.Errorf("DivergenceFactor = %f, want 1.0", r.DivergenceFactor)
+	}
+}
+
+func TestExecDivergentLanes(t *testing.T) {
+	// One slow lane forces the whole warp to wait: lockstep pays the
+	// max, so utilisation collapses toward 1/Lanes.
+	var lanes [Lanes][]int
+	for i := range lanes {
+		lanes[i] = []int{1}
+	}
+	lanes[7] = []int{32}
+	r, err := Exec(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LockstepCycles != 32 {
+		t.Errorf("LockstepCycles = %d, want 32 (max lane)", r.LockstepCycles)
+	}
+	wantUtil := float64(31+32) / float64(Lanes*32)
+	if math.Abs(r.Utilisation-wantUtil) > 1e-12 {
+		t.Errorf("Utilisation = %f, want %f", r.Utilisation, wantUtil)
+	}
+	if r.DivergenceFactor <= 10 {
+		t.Errorf("DivergenceFactor = %f, want >> 1", r.DivergenceFactor)
+	}
+}
+
+func TestExecRaggedLaneLengths(t *testing.T) {
+	// Lanes with fewer iterations idle but still stall the warp for
+	// the remaining iterations of longer lanes.
+	var lanes [Lanes][]int
+	for i := range lanes {
+		lanes[i] = []int{2}
+	}
+	lanes[0] = []int{2, 5, 5}
+	r, err := Exec(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LockstepCycles != 2+5+5 {
+		t.Errorf("LockstepCycles = %d, want 12", r.LockstepCycles)
+	}
+	if r.MaxSteps != 3 {
+		t.Errorf("MaxSteps = %d, want 3", r.MaxSteps)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	var empty [Lanes][]int
+	if _, err := Exec(empty); err == nil {
+		t.Error("all-empty warp accepted")
+	}
+	var bad [Lanes][]int
+	bad[0] = []int{-1}
+	if _, err := Exec(bad); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestTBEDecodeIsDivergenceFree(t *testing.T) {
+	// The §4.2 claim, observed: for any compressed content — Gaussian,
+	// outlier-heavy, or adversarial random bits — every lane of the
+	// TBE decoder executes the identical sequence, so utilisation is
+	// exactly 1.0.
+	inputs := []struct {
+		name string
+		seed int64
+		gen  func() *core.Compressed
+	}{
+		{"gaussian", 1, func() *core.Compressed {
+			cm, err := core.Compress(weights.Gaussian(128, 128, 0.02, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cm
+		}},
+		{"outliers", 2, func() *core.Compressed {
+			cm, err := core.Compress(weights.GaussianWithOutliers(128, 128, 0.02, 0.3, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cm
+		}},
+	}
+	for _, in := range inputs {
+		t.Run(in.name, func(t *testing.T) {
+			cm := in.gen()
+			for frag := 0; frag < cm.Grid.NumFrags(); frag += 17 {
+				r, err := SimulateTBEDecode(cm, frag)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Utilisation != 1.0 || r.DivergenceFactor != 1.0 {
+					t.Fatalf("frag %d: util %f, divergence %f — TBE decode must be uniform",
+						frag, r.Utilisation, r.DivergenceFactor)
+				}
+			}
+		})
+	}
+}
+
+func TestTBEDecodeFragOutOfRange(t *testing.T) {
+	cm, err := core.Compress(weights.Gaussian(64, 64, 0.02, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateTBEDecode(cm, -1); err == nil {
+		t.Error("negative frag accepted")
+	}
+	if _, err := SimulateTBEDecode(cm, cm.Grid.NumFrags()); err == nil {
+		t.Error("out-of-range frag accepted")
+	}
+}
+
+func TestHuffmanDecodeDiverges(t *testing.T) {
+	// §3.2 observed: Huffman decode of a skewed exponent stream makes
+	// warp lanes wait for whichever lane drew the longest code, so
+	// utilisation drops well below 1 even though each lane's chunk is
+	// independent.
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, Lanes*512)
+	for i := range data {
+		data[i] = byte(124 + int(rng.NormFloat64()*1.3)) // exponent-like skew
+	}
+	s, err := huffman.Encode(data, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateHuffmanDecode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DivergenceFactor < 1.15 {
+		t.Errorf("Huffman divergence factor %.3f, want ≥ 1.15 on skewed data", r.DivergenceFactor)
+	}
+	if r.Utilisation > 0.9 {
+		t.Errorf("Huffman warp utilisation %.3f, want < 0.9", r.Utilisation)
+	}
+	t.Logf("Huffman: divergence %.2f, utilisation %.1f%%", r.DivergenceFactor, r.Utilisation*100)
+}
+
+func TestHuffmanUniformAlphabetDoesNotDiverge(t *testing.T) {
+	// Control: a single-symbol stream has one code length, so even
+	// Huffman runs uniform — divergence comes from the length
+	// *distribution*, not from entropy coding per se.
+	data := make([]byte, Lanes*256)
+	for i := range data {
+		data[i] = 42
+	}
+	s, err := huffman.Encode(data, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SimulateHuffmanDecode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DivergenceFactor != 1.0 {
+		t.Errorf("single-symbol Huffman divergence %.3f, want 1.0", r.DivergenceFactor)
+	}
+}
+
+func TestHuffmanNeedsFullWarp(t *testing.T) {
+	s, err := huffman.Encode([]byte("short"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateHuffmanDecode(s); err == nil {
+		t.Error("stream with too few chunks accepted")
+	}
+}
+
+func TestTBEBeatsHuffmanOnUtilisation(t *testing.T) {
+	// The package's headline comparison: same weights, both decoders
+	// simulated — TBE utilisation strictly above Huffman.
+	w := weights.Gaussian(256, 256, 0.02, 5)
+	cm, err := core.Compress(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbe, err := SimulateTBEDecode(cm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := make([]byte, len(w.Data))
+	for i, v := range w.Data {
+		exps[i] = v.Exponent()
+	}
+	s, err := huffman.Encode(exps, len(exps)/Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huff, err := SimulateHuffmanDecode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbe.Utilisation <= huff.Utilisation {
+		t.Errorf("TBE utilisation %.3f not above Huffman %.3f", tbe.Utilisation, huff.Utilisation)
+	}
+}
+
+func TestQuickLockstepNeverBeatsIdeal(t *testing.T) {
+	// Property: lockstep execution can never be faster than the MIMD
+	// ideal, and utilisation is always in (0, 1].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var lanes [Lanes][]int
+		for i := range lanes {
+			steps := 1 + rng.Intn(20)
+			lanes[i] = make([]int, steps)
+			for j := range lanes[i] {
+				lanes[i][j] = rng.Intn(10)
+			}
+		}
+		r, err := Exec(lanes)
+		if err != nil {
+			return false
+		}
+		return float64(r.LockstepCycles) >= r.IdealCycles-1e-9 &&
+			r.Utilisation > 0 == (r.WorkCycles > 0) && r.Utilisation <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

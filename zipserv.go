@@ -1,0 +1,275 @@
+// Package zipserv is a pure-Go implementation of the ZipServ system
+// (Fan et al., ASPLOS 2026): fast, memory-efficient, bit-exact LLM
+// inference through hardware-aware lossless compression.
+//
+// The package exposes five layers, mirroring the paper:
+//
+//   - BF16 numerics and matrices (the weight substrate, §2.2);
+//   - the TCA-TBE lossless codec — Compress/Decompress — with
+//     constant-time, branch-free, popcount-addressed decoding (§4.2);
+//   - GEMM kernels: the dense Reference, the fused ZipGEMM that
+//     computes directly on compressed weights, and the decoupled
+//     baseline pipeline (§4.3);
+//   - lossless baseline codecs (DFloat11-style Huffman,
+//     DietGPU/nvCOMP-style rANS) behind one Codec interface (§6.1);
+//   - a serving simulator: GPU cost models for the paper's five
+//     evaluation devices, a paged KV cache, and end-to-end engines for
+//     the four serving stacks of §6.5.
+//
+// Quick start:
+//
+//	w := zipserv.GaussianWeights(4096, 4096, 0.02, 1)
+//	cw, _ := zipserv.Compress(w)               // lossless, ~1.4×
+//	y, _ := zipserv.ZipGEMM(cw, activations)   // never decompresses W
+//	back, _ := zipserv.Decompress(cw)          // bit-exact
+//
+// All results are bit-exact: ZipGEMM output equals dense GEMM on the
+// original weights, bit for bit.
+package zipserv
+
+import (
+	"io"
+
+	"zipserv/internal/bf16"
+	"zipserv/internal/checkpoint"
+	"zipserv/internal/codec"
+	"zipserv/internal/core"
+	"zipserv/internal/engine"
+	"zipserv/internal/gpu"
+	"zipserv/internal/kvcache"
+	"zipserv/internal/quant"
+	"zipserv/internal/stats"
+	"zipserv/internal/warp"
+	"zipserv/internal/weights"
+	"zipserv/internal/zipgemm"
+)
+
+// ---- BF16 numerics ----
+
+// BF16 is a bfloat16 value (1 sign, 8 exponent, 7 mantissa bits).
+type BF16 = bf16.BF16
+
+// Matrix is a dense row-major BF16 matrix.
+type Matrix = bf16.Matrix
+
+// NewMatrix allocates a zeroed rows×cols BF16 matrix.
+func NewMatrix(rows, cols int) *Matrix { return bf16.NewMatrix(rows, cols) }
+
+// FromFloat32 converts with round-to-nearest-even.
+func FromFloat32(f float32) BF16 { return bf16.FromFloat32(f) }
+
+// GaussianWeights generates LLM-like N(0, σ²) BF16 weights with a
+// deterministic seed (the Appendix-A weight model).
+func GaussianWeights(rows, cols int, sigma float64, seed int64) *Matrix {
+	return weights.Gaussian(rows, cols, sigma, seed)
+}
+
+// ---- TCA-TBE codec (the paper's core contribution) ----
+
+// Compressed is a weight matrix in Tensor-Core-Aware Triple Bitmap
+// Encoding.
+type Compressed = core.Compressed
+
+// CompressOptions configures the TCA-TBE compressor.
+type CompressOptions = core.Options
+
+// Compress encodes a BF16 matrix losslessly with the paper's default
+// configuration (3-bit codewords over a contiguous 7-exponent window).
+func Compress(m *Matrix) (*Compressed, error) { return core.Compress(m) }
+
+// CompressWithOptions encodes with explicit codec options (codeword
+// length 2–4, window vs top-frequency selection).
+func CompressWithOptions(m *Matrix, opts CompressOptions) (*Compressed, error) {
+	return core.CompressWithOptions(m, opts)
+}
+
+// Decompress reconstructs the original matrix bit-for-bit.
+func Decompress(c *Compressed) (*Matrix, error) { return core.Decompress(c) }
+
+// WriteCompressed serialises a compressed matrix (with CRC trailer).
+func WriteCompressed(w io.Writer, c *Compressed) error {
+	_, err := c.WriteTo(w)
+	return err
+}
+
+// ReadCompressed deserialises and validates a compressed matrix.
+func ReadCompressed(r io.Reader) (*Compressed, error) {
+	var c Compressed
+	if _, err := c.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// ---- GEMM kernels ----
+
+// Result is an FP32 GEMM output.
+type Result = zipgemm.Result
+
+// GEMM computes Y = W·X densely (the cuBLAS-equivalent reference).
+func GEMM(w, x *Matrix) (*Result, error) { return zipgemm.Reference(w, x) }
+
+// ZipGEMM computes Y = W·X directly from the compressed weights —
+// "load compressed, compute decompressed" (§4.3). The result is
+// bit-identical to GEMM on the original matrix.
+func ZipGEMM(cw *Compressed, x *Matrix) (*Result, error) { return zipgemm.Fused(cw, x) }
+
+// DecoupledGEMM runs the baseline pipeline: decompress a codec blob
+// fully, then run the dense GEMM (§3.3, Figure 4).
+func DecoupledGEMM(blob Blob, x *Matrix) (*Result, error) { return zipgemm.Decoupled(blob, x) }
+
+// ---- Codec registry (baselines of §6.1) ----
+
+// Codec is a lossless BF16 weight codec.
+type Codec = codec.Codec
+
+// Blob is a compressed weight matrix produced by any Codec.
+type Blob = codec.Blob
+
+// Codec names available in the registry.
+const (
+	CodecZipServ  = codec.NameZipServ
+	CodecDFloat11 = codec.NameDFloat11
+	CodecDietGPU  = codec.NameDietGPU
+	CodecNvComp   = codec.NameNvComp
+)
+
+// NewCodec returns a codec by name (CodecZipServ, CodecDFloat11,
+// CodecDietGPU, CodecNvComp).
+func NewCodec(name string) (Codec, error) { return codec.New(name) }
+
+// CodecNames lists registered codecs.
+func CodecNames() []string { return codec.Names() }
+
+// ---- Analysis ----
+
+// ExponentHistogram tallies the BF16 exponent field of a matrix
+// (§3.1).
+type ExponentHistogram = stats.Histogram
+
+// AnalyzeExponents computes the exponent histogram of m.
+func AnalyzeExponents(m *Matrix) ExponentHistogram { return stats.ExponentHistogram(m) }
+
+// ---- Hardware model and serving ----
+
+// GPUSpec describes a modelled accelerator.
+type GPUSpec = gpu.Spec
+
+// GPUByName returns the spec of a modelled device (RTX4090, L40S,
+// RTX5090, A100, H800, AMX-SPR, MI300X).
+func GPUByName(name string) (GPUSpec, error) { return gpu.ByName(name) }
+
+// Model describes an LLM architecture from the §6.1 zoo.
+type Model = weights.Model
+
+// ModelByName returns a zoo model (e.g. "LLaMA3.1-8B").
+func ModelByName(name string) (Model, error) { return weights.ByName(name) }
+
+// Models returns the full eleven-model zoo.
+func Models() []Model { return weights.Zoo() }
+
+// ServingBackend identifies a serving stack (ZipServ, vLLM,
+// Transformers, DFloat11).
+type ServingBackend = engine.Backend
+
+// Serving backends of Figure 16.
+const (
+	ServeZipServ      = engine.BackendZipServ
+	ServeVLLM         = engine.BackendVLLM
+	ServeTransformers = engine.BackendTransformers
+	ServeDFloat11     = engine.BackendDFloat11
+)
+
+// ServingConfig configures an end-to-end serving simulation.
+type ServingConfig = engine.Config
+
+// ServingMetrics reports one serving run.
+type ServingMetrics = engine.Metrics
+
+// Engine simulates end-to-end LLM serving (§6.5).
+type Engine = engine.Engine
+
+// NewEngine builds a serving engine.
+func NewEngine(cfg ServingConfig) (*Engine, error) { return engine.New(cfg) }
+
+// ---- Paged KV cache ----
+
+// KVManager is a paged KV-cache allocator (PagedAttention-style).
+type KVManager = kvcache.Manager
+
+// KVConfig sizes a KV cache.
+type KVConfig = kvcache.Config
+
+// NewKVManager builds a paged KV-cache manager.
+func NewKVManager(cfg KVConfig) (*KVManager, error) { return kvcache.NewManager(cfg) }
+
+// CompressedKVStore holds KV blocks in TCA-TBE form (§7 extension).
+type CompressedKVStore = kvcache.CompressedStore
+
+// NewCompressedKVStore returns an empty compressed KV store.
+func NewCompressedKVStore() *CompressedKVStore { return kvcache.NewCompressedStore() }
+
+// ---- Checkpoints (§7 extension: model checkpointing) ----
+
+// CheckpointWriter assembles a multi-tensor compressed checkpoint.
+type CheckpointWriter = checkpoint.Writer
+
+// Checkpoint is a loaded checkpoint with lazy per-tensor access.
+type Checkpoint = checkpoint.Checkpoint
+
+// CheckpointStats reports a checkpoint write.
+type CheckpointStats = checkpoint.Stats
+
+// NewCheckpointWriter returns an empty checkpoint writer.
+func NewCheckpointWriter() *CheckpointWriter { return checkpoint.NewWriter() }
+
+// ReadCheckpoint parses a checkpoint stream (tensors stay compressed
+// until requested).
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) { return checkpoint.Read(r) }
+
+// ---- Continuous batching (trace-driven serving) ----
+
+// ServeRequest is one request in a serving trace.
+type ServeRequest = engine.Request
+
+// ServeTraceStats aggregates a continuous-batching run.
+type ServeTraceStats = engine.TraceStats
+
+// RequestMetrics reports per-request TTFT and latency.
+type RequestMetrics = engine.RequestMetrics
+
+// SyntheticTrace generates a deterministic Poisson-arrival trace.
+func SyntheticTrace(n int, ratePerSec float64, meanPrompt, meanOutput int, seed int64) []ServeRequest {
+	return engine.SyntheticTrace(n, ratePerSec, meanPrompt, meanOutput, seed)
+}
+
+// ---- Warp-level divergence analysis (§3.2) ----
+
+// WarpReport summarises a lockstep warp execution.
+type WarpReport = warp.Report
+
+// SimulateTBEDecodeWarp runs the TCA-TBE decoder for one FragTile on a
+// simulated 32-lane warp (divergence-free by construction).
+func SimulateTBEDecodeWarp(cm *Compressed, frag int) (WarpReport, error) {
+	return warp.SimulateTBEDecode(cm, frag)
+}
+
+// ---- Quantization composition (§7: orthogonal to lossy methods) ----
+
+// QuantizedMatrix is a per-row symmetric int8 quantization of BF16
+// weights (the W8A16 regime).
+type QuantizedMatrix = quant.Matrix
+
+// QuantizedCompressed is a quantized matrix whose int8 stream has been
+// losslessly entropy coded on top (no additional error).
+type QuantizedCompressed = quant.Compressed
+
+// Quantize converts BF16 weights to per-row int8 (lossy, bounded
+// error).
+func Quantize(m *Matrix) (*QuantizedMatrix, error) { return quant.Quantize(m) }
+
+// CompressQuantized losslessly compresses the int8 stream of a
+// quantized matrix, exploiting its residual redundancy.
+func CompressQuantized(q *QuantizedMatrix) (*QuantizedCompressed, error) {
+	return quant.CompressQuantized(q)
+}

@@ -1,0 +1,255 @@
+package zipserv_test
+
+import (
+	"bytes"
+	"testing"
+
+	"zipserv"
+)
+
+// TestPublicAPIQuickstart exercises the README quick-start path end to
+// end through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w := zipserv.GaussianWeights(256, 256, 0.02, 1)
+	cw, err := zipserv.Compress(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cw.CompressionRatio(); r < 1.3 {
+		t.Errorf("compression ratio %.3f < 1.3", r)
+	}
+
+	back, err := zipserv.Decompress(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(back) {
+		t.Fatal("decompression is not bit-exact")
+	}
+
+	x := zipserv.NewMatrix(256, 8)
+	for i := range x.Data {
+		x.Data[i] = zipserv.FromFloat32(float32(i%13) * 0.25)
+	}
+	dense, err := zipserv.GEMM(w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := zipserv.ZipGEMM(cw, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equal(fused) {
+		t.Fatal("ZipGEMM differs from dense GEMM")
+	}
+}
+
+func TestPublicAPISerialization(t *testing.T) {
+	w := zipserv.GaussianWeights(64, 64, 0.02, 2)
+	cw, err := zipserv.Compress(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := zipserv.WriteCompressed(&buf, cw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := zipserv.ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := zipserv.Decompress(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Equal(m) {
+		t.Error("serialised round trip not bit-exact")
+	}
+}
+
+func TestPublicAPICodecs(t *testing.T) {
+	if len(zipserv.CodecNames()) != 4 {
+		t.Fatalf("CodecNames = %v, want 4 codecs", zipserv.CodecNames())
+	}
+	w := zipserv.GaussianWeights(64, 128, 0.02, 3)
+	x := zipserv.NewMatrix(128, 4)
+	for i := range x.Data {
+		x.Data[i] = zipserv.FromFloat32(1)
+	}
+	dense, err := zipserv.GEMM(w, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range zipserv.CodecNames() {
+		c, err := zipserv.NewCodec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := c.Compress(w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y, err := zipserv.DecoupledGEMM(blob, x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !dense.Equal(y) {
+			t.Errorf("%s: decoupled GEMM differs from dense", name)
+		}
+	}
+}
+
+func TestPublicAPIServing(t *testing.T) {
+	model, err := zipserv.ModelByName("LLaMA3.1-8B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := zipserv.GPUByName("RTX4090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+		Model: model, Device: dev, Backend: zipserv.ServeZipServ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := eng.Run(8, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 {
+		t.Error("serving simulation returned no throughput")
+	}
+	if len(zipserv.Models()) != 11 {
+		t.Errorf("zoo has %d models, want 11", len(zipserv.Models()))
+	}
+}
+
+func TestPublicAPIAnalysis(t *testing.T) {
+	w := zipserv.GaussianWeights(256, 256, 0.02, 5)
+	h := zipserv.AnalyzeExponents(w)
+	if e := h.Entropy(); e < 2.2 || e > 3.0 {
+		t.Errorf("exponent entropy %.2f outside the §3.1 band", e)
+	}
+	if c := h.TopKCoverage(7); c < 0.95 {
+		t.Errorf("top-7 coverage %.3f < 0.95", c)
+	}
+}
+
+func TestPublicAPIKVCache(t *testing.T) {
+	mgr, err := zipserv.NewKVManager(zipserv.KVConfig{BlockTokens: 16, TotalBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Allocate(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.UsedBlocks() != 2 {
+		t.Errorf("used blocks %d, want 2", mgr.UsedBlocks())
+	}
+	store := zipserv.NewCompressedKVStore()
+	kv := zipserv.GaussianWeights(16, 512, 1.0, 6)
+	if err := store.Put(0, kv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(0)
+	if err != nil || !kv.Equal(got) {
+		t.Error("compressed KV store not bit-exact")
+	}
+}
+
+func TestPublicAPIQuantization(t *testing.T) {
+	// Large enough that the rANS frequency table amortises.
+	w := zipserv.GaussianWeights(256, 256, 0.02, 8)
+	q, err := zipserv.Quantize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BitsPerElement() < 8 || q.BitsPerElement() > 9 {
+		t.Errorf("W8 bits/element %.2f", q.BitsPerElement())
+	}
+	cq, err := zipserv.CompressQuantized(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.BitsPerElement() >= q.BitsPerElement() {
+		t.Error("lossless stage did not shrink the quantized weights")
+	}
+	back, err := cq.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q.Q {
+		if back.Q[i] != q.Q[i] {
+			t.Fatal("quantized stream not bit-exact through lossless stage")
+		}
+	}
+}
+
+func TestPublicAPICheckpointAndWarp(t *testing.T) {
+	w := zipserv.GaussianWeights(64, 64, 0.02, 9)
+	cw := zipserv.NewCheckpointWriter()
+	if err := cw.Add("layer", w); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, err := cw.Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ratio() < 1.3 {
+		t.Errorf("checkpoint ratio %.2f", st.Ratio())
+	}
+	ck, err := zipserv.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ck.Tensor("layer")
+	if err != nil || !w.Equal(m) {
+		t.Error("checkpoint tensor not bit-exact")
+	}
+
+	cm, err := zipserv.Compress(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := zipserv.SimulateTBEDecodeWarp(cm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DivergenceFactor != 1.0 {
+		t.Errorf("TBE warp divergence %.3f, want 1.0", rep.DivergenceFactor)
+	}
+}
+
+func TestPublicAPITraceServing(t *testing.T) {
+	model, _ := zipserv.ModelByName("LLaMA3.1-8B")
+	dev, _ := zipserv.GPUByName("RTX4090")
+	eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+		Model: model, Device: dev, Backend: zipserv.ServeZipServ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := zipserv.SyntheticTrace(10, 20, 64, 32, 4)
+	st, per, err := eng.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 10 || len(per) != 10 || st.Throughput <= 0 {
+		t.Errorf("trace stats %+v", st)
+	}
+}
+
+func TestPublicAPICompressWithOptions(t *testing.T) {
+	w := zipserv.GaussianWeights(64, 64, 0.02, 10)
+	cm, err := zipserv.CompressWithOptions(w, zipserv.CompressOptions{CodewordBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := zipserv.Decompress(cm)
+	if err != nil || !w.Equal(back) {
+		t.Error("2-bit compression not bit-exact")
+	}
+}
