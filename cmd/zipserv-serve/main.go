@@ -2,16 +2,24 @@
 // for one deployment and prints latency, throughput and the memory
 // plan, optionally comparing all four serving backends.
 //
+// With -live it instead replays a synthetic Poisson trace through the
+// live continuous-batching scheduler (internal/serve) and through the
+// offline static-batch path, and reports the goodput gain of
+// iteration-level scheduling with token-packed prefill.
+//
 // Usage:
 //
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -batch 32 -out 2048
 //	zipserv-serve -model LLaMA3.1-70B -device L40S -gpus 4 -compare
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -live -requests 64 -rate 100
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"zipserv"
 )
@@ -25,9 +33,19 @@ func main() {
 	prompt := flag.Int("prompt", 128, "prompt length in tokens")
 	out := flag.Int("out", 512, "output length in tokens")
 	compare := flag.Bool("compare", false, "run all four backends and compare")
+	live := flag.Bool("live", false, "replay a synthetic trace through the live continuous-batching scheduler")
+	requests := flag.Int("requests", 64, "live mode: number of trace requests")
+	rate := flag.Float64("rate", 100, "live mode: Poisson arrival rate (req/s)")
+	seed := flag.Int64("seed", 7, "live mode: trace seed")
 	flag.Parse()
 
-	if err := run(*model, *device, *gpus, *backend, *batch, *prompt, *out, *compare); err != nil {
+	var err error
+	if *live {
+		err = runLive(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed)
+	} else {
+		err = run(*model, *device, *gpus, *backend, *batch, *prompt, *out, *compare)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "zipserv-serve:", err)
 		os.Exit(1)
 	}
@@ -75,5 +93,73 @@ func run(modelName, device string, gpus int, backend string, batch, prompt, out 
 			fmt.Printf("%-14s   (ZipServ speedup: %.2fx)\n", "", base/m.Throughput)
 		}
 	}
+	return nil
+}
+
+// runLive replays one synthetic trace twice — through the live
+// continuous-batching scheduler and through the offline static-batch
+// path — and prints the goodput comparison.
+func runLive(modelName, device string, gpus int, backend string, n int, rate float64, prompt, out int, seed int64) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+		Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+	})
+	if err != nil {
+		return err
+	}
+	trace := zipserv.SyntheticTrace(n, rate, prompt, out, seed)
+	if trace == nil {
+		return fmt.Errorf("invalid trace parameters")
+	}
+
+	offline, _, err := eng.Serve(trace)
+	if err != nil {
+		return err
+	}
+
+	srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{Engine: eng, QueueDepth: len(trace)})
+	if err != nil {
+		return err
+	}
+	tickets := make([]*zipserv.LiveTicket, len(trace))
+	for i, r := range trace {
+		tk, err := srv.Submit(zipserv.LiveRequest{
+			PromptLen: r.PromptLen, OutputLen: r.OutputLen, Arrival: r.ArrivalSeconds,
+		})
+		if err != nil {
+			return err
+		}
+		tickets[i] = tk
+	}
+	srv.Start()
+	for _, tk := range tickets {
+		if res := <-tk.Result(); res.Err != nil {
+			return res.Err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Stop(ctx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+
+	liveGoodput := float64(st.Completed) / st.SimSeconds
+	offGoodput := float64(offline.Requests) / offline.MakespanSeconds
+	fmt.Printf("trace: %d requests, %.0f req/s Poisson, prompt~%d, output~%d (%s on %dx %s, %s)\n\n",
+		n, rate, prompt, out, modelName, gpus, device, backend)
+	fmt.Printf("%-26s %14s %14s %12s %12s\n", "scheduler", "makespan(s)", "goodput(r/s)", "meanTTFT(s)", "peak conc")
+	fmt.Printf("%-26s %14.2f %14.2f %12.3f %12d\n",
+		"offline static-batch", offline.MakespanSeconds, offGoodput, offline.MeanTTFT, offline.PeakConcurrency)
+	fmt.Printf("%-26s %14.2f %14.2f %12.3f %12d\n",
+		"live continuous-batching", st.SimSeconds, liveGoodput, st.MeanTTFT, st.PeakConcurrency)
+	fmt.Printf("\nlive goodput gain: %.2fx\n", liveGoodput/offGoodput)
 	return nil
 }

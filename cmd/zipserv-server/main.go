@@ -1,34 +1,100 @@
 // Command zipserv-server exposes the ZipServ serving simulator as an
-// HTTP control-plane API (capacity planning, run simulation,
-// trace-driven continuous batching, compression what-ifs).
+// HTTP API: the stateless control plane (capacity planning, run
+// simulation, trace-driven continuous batching, compression what-ifs)
+// plus a live continuous-batching data plane for one deployment
+// (POST /v1/generate with streaming metrics, GET /v1/stats).
 //
 // Usage:
 //
-//	zipserv-server -addr :8080
+//	zipserv-server -addr :8080 -model LLaMA3.1-8B -device RTX4090
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
+//	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64}'
+//	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64,"stream":true}'
+//	curl localhost:8080/v1/stats
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight HTTP requests get a drain window, and the
+// live scheduler serves everything it already admitted to completion.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"zipserv/internal/engine"
+	"zipserv/internal/gpu"
 	"zipserv/internal/httpapi"
+	"zipserv/internal/serve"
+	"zipserv/internal/weights"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "LLaMA3.1-8B", "live deployment: model name from the zoo")
+	device := flag.String("device", "RTX4090", "live deployment: GPU model")
+	gpus := flag.Int("gpus", 1, "live deployment: tensor-parallel degree")
+	backend := flag.String("backend", "zipserv", "live deployment: zipserv, vllm, transformers, dfloat11")
+	queueDepth := flag.Int("queue", 256, "live admission queue depth (beyond it, /v1/generate returns 429)")
+	maxBatch := flag.Int("max-batch", 0, "cap on concurrently scheduled sequences (0 = KV capacity only)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
+
+	model, err := weights.ByName(*modelName)
+	if err != nil {
+		log.Fatalf("zipserv-server: %v", err)
+	}
+	dev, err := gpu.ByName(*device)
+	if err != nil {
+		log.Fatalf("zipserv-server: %v", err)
+	}
+	eng, err := engine.New(engine.Config{
+		Model: model, Device: dev, NumGPUs: *gpus, Backend: engine.Backend(*backend),
+	})
+	if err != nil {
+		log.Fatalf("zipserv-server: %v", err)
+	}
+	live, err := serve.New(serve.Config{Engine: eng, QueueDepth: *queueDepth, MaxBatch: *maxBatch})
+	if err != nil {
+		log.Fatalf("zipserv-server: %v", err)
+	}
+	live.Start()
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewMux(),
+		Handler:           httpapi.NewLiveMux(live),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
-	log.Printf("zipserv-server listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("zipserv-server listening on %s (live: %s on %dx %s, %s backend)",
+		*addr, *modelName, *gpus, *device, *backend)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("zipserv-server: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("zipserv-server: HTTP shutdown: %v", err)
+	}
+	if err := live.Stop(shutdownCtx); err != nil {
+		log.Printf("zipserv-server: scheduler drain: %v", err)
+	}
+	log.Printf("zipserv-server: bye")
 }

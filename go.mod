@@ -1,0 +1,3 @@
+module zipserv
+
+go 1.24

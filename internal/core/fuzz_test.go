@@ -55,6 +55,11 @@ func FuzzReadFrom(f *testing.F) {
 func FuzzCompressDecompress(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2}, uint8(5), uint8(7))
 	f.Add([]byte{0xFF, 0x7F, 0x80, 0x00}, uint8(64), uint8(64))
+	// Degenerate corners: empty raw (an all-zero matrix), a single
+	// 1×1 element, and a large all-identical-symbol matrix.
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{0x9a, 0x3d}, uint8(0), uint8(0))
+	f.Add(bytes.Repeat([]byte{0x9a, 0x3d}, 96*96), uint8(95), uint8(95))
 	f.Fuzz(func(t *testing.T, raw []byte, rowsSel, colsSel uint8) {
 		rows := int(rowsSel%96) + 1
 		cols := int(colsSel%96) + 1

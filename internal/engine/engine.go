@@ -154,6 +154,15 @@ func (e *Engine) MaxConcurrent(totalLen int) int {
 	return int(e.plan.MaxTokens) / totalLen
 }
 
+// FitsKV reports whether a request's full prompt+output KV
+// reservation can ever fit the device plan. It is block-granular,
+// mirroring Stepper.CanAdmit at an empty system, so every admission
+// path (offline Serve validation, live Submit) rejects exactly the
+// requests the scheduler could never admit.
+func (e *Engine) FitsKV(promptLen, outputLen int) bool {
+	return kvcache.BlocksFor(promptLen+outputLen, kvcache.DefaultBlockTokens) <= e.plan.Blocks
+}
+
 // shardedShape divides a layer across tensor-parallel ranks: QKV and
 // GateUp are column-parallel (M shrinks), O and Down are row-parallel
 // (K shrinks), the LM head is column-parallel.
@@ -208,13 +217,20 @@ func (e *Engine) stepGEMMTime(b int) float64 {
 
 // attentionTime prices the decode attention sweep: reading b×ctx
 // token positions of KV (sharded across GPUs) at the stack's
-// achievable bandwidth.
+// achievable bandwidth. A homogeneous batch is the sumCtx = b·ctx
+// special case of the heterogeneous sweep.
 func (e *Engine) attentionTime(b, ctx int) float64 {
+	return e.attentionTimeTotal(b * ctx)
+}
+
+// attentionTimeTotal prices a decode attention sweep over a batch with
+// heterogeneous context lengths (sumCtx = Σ per-sequence contexts).
+func (e *Engine) attentionTimeTotal(sumCtx int) float64 {
 	eff := pagedAttnEff
 	if e.cfg.Backend == BackendTransformers || e.cfg.Backend == BackendDFloat11 {
 		eff = eagerAttnEff
 	}
-	bytes := int64(b) * int64(ctx) * e.cfg.Model.KVBytesPerToken() / int64(e.cfg.NumGPUs)
+	bytes := int64(sumCtx) * e.cfg.Model.KVBytesPerToken() / int64(e.cfg.NumGPUs)
 	return gpu.StreamTime(e.cfg.Device, bytes, eff) +
 		float64(e.cfg.Model.NumLayers)*gpu.LaunchOverhead
 }
@@ -242,26 +258,58 @@ func (e *Engine) allReduceTime(n int) float64 {
 }
 
 // DecodeStepTime returns the full latency of one decode step at batch
-// b and context length ctx.
+// b and context length ctx (the homogeneous special case of
+// BatchDecodeStepTime).
 func (e *Engine) DecodeStepTime(b, ctx int) float64 {
-	return e.stepGEMMTime(b) + e.attentionTime(b, ctx) + e.otherTime() + e.allReduceTime(b)
+	return e.BatchDecodeStepTime(b, b*ctx)
 }
 
-// PrefillTime returns the time to process prompts of length p for b
-// sequences.
-func (e *Engine) PrefillTime(b, p int) float64 {
-	n := b * p
+// BatchDecodeStepTime prices one decode step over a heterogeneous
+// running batch: b sequences whose context lengths sum to sumCtx. This
+// is the step-granular entry point the continuous-batching loops
+// (offline Serve and the live internal/serve scheduler) consume.
+func (e *Engine) BatchDecodeStepTime(b, sumCtx int) float64 {
+	return e.stepGEMMTime(b) + e.attentionTimeTotal(sumCtx) + e.otherTime() + e.allReduceTime(b)
+}
+
+// PackedPrefillTime prices a token-packed (varlen, padding-free)
+// prefill over prompts of the given lengths: the GEMMs see the true
+// total token count and the attention kernel the true per-sequence
+// quadratic work, the way a FlashAttention varlen kernel batches
+// ragged prompts. Contrast PrefillTime, which pads every prompt in the
+// batch to the longest one (request-level static batching).
+func (e *Engine) PackedPrefillTime(prompts []int) float64 {
+	if len(prompts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range prompts {
+		n += p
+	}
 	var gemm float64
 	for _, kind := range weights.BlockLayerKinds {
 		gemm += e.gemmTime(kind, n)
 	}
-	gemm = gemm*float64(e.cfg.Model.NumLayers) + e.gemmTime(weights.LMHead, b) // head runs on last token only
+	gemm = gemm*float64(e.cfg.Model.NumLayers) + e.gemmTime(weights.LMHead, len(prompts))
 
-	// Prefill attention: 4·b·p²·hidden FLOPs per layer on the Tensor
-	// Cores (FlashAttention-class kernel).
 	m := e.cfg.Model
-	attnFLOPs := 4 * float64(b) * float64(p) * float64(p) * float64(m.HiddenDim) * float64(m.NumLayers)
+	var attnFLOPs float64
+	for _, p := range prompts {
+		attnFLOPs += 4 * float64(p) * float64(p) * float64(m.HiddenDim) * float64(m.NumLayers)
+	}
 	attn := attnFLOPs / (e.cfg.Device.BF16TFLOPS * 1e12 * prefillAttnEff) / float64(e.cfg.NumGPUs)
 
 	return gemm + attn + e.otherTime() + e.allReduceTime(n)
+}
+
+// PrefillTime returns the time to process prompts of length p for b
+// sequences: the uniform-length special case of PackedPrefillTime,
+// which is what a padded prefill batch degenerates to once every
+// prompt has been padded to the longest one.
+func (e *Engine) PrefillTime(b, p int) float64 {
+	prompts := make([]int, b)
+	for i := range prompts {
+		prompts[i] = p
+	}
+	return e.PackedPrefillTime(prompts)
 }

@@ -5,8 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-
-	"zipserv/internal/kvcache"
 )
 
 // Request is one serving request in a trace.
@@ -26,6 +24,7 @@ type RequestMetrics struct {
 	Finished   float64
 
 	TTFT    float64 // time to first token (FirstToken − Arrival)
+	TPOT    float64 // time per output token after the first (decode cadence)
 	Latency float64 // Finished − Arrival
 }
 
@@ -53,6 +52,13 @@ type TraceStats struct {
 // flight (real vLLM admits optimistically and preempts; conservative
 // reservation bounds the same capacity effect without modelling
 // preemption).
+//
+// Serve is a thin offline driver over the shared Stepper state
+// machine; the live scheduler in internal/serve drives the same
+// Stepper from a request channel. Serve keeps the legacy request-level
+// padded prefill (every prompt in a prefill batch is priced at the
+// longest one), which is what makes it the static-batch baseline the
+// live packed-prefill loop is benchmarked against.
 func (e *Engine) Serve(reqs []Request) (TraceStats, []RequestMetrics, error) {
 	var st TraceStats
 	if len(reqs) == 0 {
@@ -66,144 +72,70 @@ func (e *Engine) Serve(reqs []Request) (TraceStats, []RequestMetrics, error) {
 		if r.PromptLen <= 0 || r.OutputLen <= 0 || r.ArrivalSeconds < 0 {
 			return st, nil, fmt.Errorf("engine: request %d invalid (%+v)", r.ID, r)
 		}
-		if e.MaxConcurrent(r.PromptLen+r.OutputLen) == 0 {
+		// A request whose reservation exceeds the whole plan must fail
+		// here, or the FIFO admission loop below could never make
+		// progress.
+		if !e.FitsKV(r.PromptLen, r.OutputLen) {
 			return st, nil, fmt.Errorf("engine: request %d (%d tokens) can never fit in KV memory",
 				r.ID, r.PromptLen+r.OutputLen)
 		}
 	}
 
-	mgr, err := kvcache.NewManager(kvcache.Config{
-		BlockTokens: kvcache.DefaultBlockTokens,
-		TotalBlocks: e.plan.Blocks,
-	})
+	sp, err := NewStepper(e)
 	if err != nil {
 		return st, nil, err
 	}
 
-	type running struct {
-		req       Request
-		metrics   *RequestMetrics
-		remaining int // output tokens still to produce
-		ctx       int // current context length
-		reserved  int // blocks reserved beyond those allocated
-	}
 	var (
-		now            float64
-		active         []*running
-		done           []RequestMetrics
-		nextIdx        int
-		reservedBlocks int
+		done    []RequestMetrics
+		nextIdx int
 	)
-	blocksFor := func(tokens int) int {
-		return (tokens + kvcache.DefaultBlockTokens - 1) / kvcache.DefaultBlockTokens
-	}
-
-	admit := func() []*running {
-		var admitted []*running
-		for nextIdx < len(pending) && pending[nextIdx].ArrivalSeconds <= now {
-			r := pending[nextIdx]
-			need := blocksFor(r.PromptLen + r.OutputLen)
-			if need > mgr.FreeBlocks()-reservedBlocks {
-				break // FIFO admission: do not starve the head of line
-			}
-			if err := mgr.Allocate(r.ID, r.PromptLen); err != nil {
-				break
-			}
-			res := need - blocksFor(r.PromptLen)
-			reservedBlocks += res
-			rm := &RequestMetrics{ID: r.ID, Arrival: r.ArrivalSeconds, Admitted: now}
-			admitted = append(admitted, &running{
-				req: r, metrics: rm, remaining: r.OutputLen, ctx: r.PromptLen, reserved: res,
-			})
-			nextIdx++
-		}
-		return admitted
-	}
-
 	for len(done) < len(pending) {
 		// Jump to the next arrival if the system is idle.
-		if len(active) == 0 && nextIdx < len(pending) && pending[nextIdx].ArrivalSeconds > now {
-			now = pending[nextIdx].ArrivalSeconds
+		if sp.InFlight() == 0 && nextIdx < len(pending) && pending[nextIdx].ArrivalSeconds > sp.Clock() {
+			sp.AdvanceTo(pending[nextIdx].ArrivalSeconds)
 		}
 
-		// Admit and prefill new arrivals as one batch.
-		if newcomers := admit(); len(newcomers) > 0 {
-			maxPrompt := 0
-			for _, r := range newcomers {
-				if r.req.PromptLen > maxPrompt {
-					maxPrompt = r.req.PromptLen
-				}
+		// Admit new arrivals in FIFO order: stop at the first request
+		// that does not fit, so the head of line is never starved.
+		for nextIdx < len(pending) && pending[nextIdx].ArrivalSeconds <= sp.Clock() {
+			r := pending[nextIdx]
+			if !sp.CanAdmit(r.PromptLen, r.OutputLen) {
+				break
 			}
-			now += e.PrefillTime(len(newcomers), maxPrompt)
-			for _, r := range newcomers {
-				r.metrics.FirstToken = now
-				r.metrics.TTFT = now - r.metrics.Arrival
-				r.remaining-- // the prefill emits the first token
-				st.OutputTokens++
-				active = append(active, r)
+			if err := sp.Admit(r); err != nil {
+				return st, nil, err
 			}
+			nextIdx++
 		}
-		if len(active) > st.PeakConcurrency {
-			st.PeakConcurrency = len(active)
-		}
-		if len(active) == 0 {
+
+		// Prefill the newcomers as one batch, then run one decode step.
+		sp.Prefill()
+		if sp.ActiveCount() == 0 {
 			if nextIdx >= len(pending) {
 				break // nothing active, nothing pending: all done
 			}
 			continue
 		}
-
-		// One decode step across the whole running batch.
-		b := len(active)
-		sumCtx := 0
-		for _, r := range active {
-			sumCtx += r.ctx
+		finished, _, err := sp.DecodeStep()
+		if err != nil {
+			return st, nil, err
 		}
-		now += e.stepGEMMTime(b) + e.attentionTimeTotal(sumCtx) + e.otherTime() + e.allReduceTime(b)
-		st.DecodeSteps++
-
-		next := active[:0]
-		for _, r := range active {
-			if r.remaining > 0 {
-				if err := mgr.AppendToken(r.req.ID); err != nil {
-					return st, nil, fmt.Errorf("engine: reservation violated for request %d: %w", r.req.ID, err)
-				}
-				// Consume reservation as real blocks are claimed.
-				if used := blocksFor(r.ctx + 1); used > blocksFor(r.ctx) && r.reserved > 0 {
-					r.reserved--
-					reservedBlocks--
-				}
-				r.ctx++
-				r.remaining--
-				st.OutputTokens++
-			}
-			if r.remaining == 0 {
-				r.metrics.Finished = now
-				r.metrics.Latency = now - r.metrics.Arrival
-				done = append(done, *r.metrics)
-				reservedBlocks -= r.reserved
-				if err := mgr.Free(r.req.ID); err != nil {
-					return st, nil, err
-				}
-			} else {
-				next = append(next, r)
-			}
-		}
-		active = next
+		done = append(done, finished...)
 	}
 
-	if err := mgr.CheckInvariants(); err != nil {
-		return st, nil, fmt.Errorf("engine: allocator corrupted after trace: %w", err)
-	}
-	if mgr.UsedBlocks() != 0 || reservedBlocks != 0 {
-		return st, nil, fmt.Errorf("engine: %d blocks leaked, %d reservations leaked", mgr.UsedBlocks(), reservedBlocks)
+	if err := sp.Close(); err != nil {
+		return st, nil, fmt.Errorf("engine: after trace: %w", err)
 	}
 
 	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
 	st.Requests = len(done)
-	st.MakespanSeconds = now
-	if now > 0 {
-		st.Throughput = float64(st.OutputTokens) / now
+	st.MakespanSeconds = sp.Clock()
+	st.OutputTokens = sp.OutputTokens()
+	st.PeakConcurrency = sp.PeakConcurrency()
+	st.DecodeSteps = sp.DecodeSteps()
+	if st.MakespanSeconds > 0 {
+		st.Throughput = float64(st.OutputTokens) / st.MakespanSeconds
 	}
 	var ttftSum, latSum float64
 	for _, m := range done {
@@ -214,18 +146,6 @@ func (e *Engine) Serve(reqs []Request) (TraceStats, []RequestMetrics, error) {
 	st.MeanTTFT = ttftSum / float64(len(done))
 	st.MeanLat = latSum / float64(len(done))
 	return st, done, nil
-}
-
-// attentionTimeTotal prices a decode attention sweep over a batch with
-// heterogeneous context lengths (sumCtx = Σ per-sequence contexts).
-func (e *Engine) attentionTimeTotal(sumCtx int) float64 {
-	eff := pagedAttnEff
-	if e.cfg.Backend == BackendTransformers || e.cfg.Backend == BackendDFloat11 {
-		eff = eagerAttnEff
-	}
-	bytes := int64(sumCtx) * e.cfg.Model.KVBytesPerToken() / int64(e.cfg.NumGPUs)
-	return float64(bytes)/(e.cfg.Device.MemBWGBps*1e9*eff) +
-		float64(e.cfg.Model.NumLayers)*1e-6*5
 }
 
 // SyntheticTrace generates a deterministic Poisson-arrival request

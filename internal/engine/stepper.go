@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+
+	"zipserv/internal/kvcache"
+)
+
+// Stepper is the iteration-granular continuous-batching state machine
+// (vLLM-style scheduling, §6.5) factored out of the offline Serve loop
+// so that a live scheduler can drive it one step at a time: admit
+// requests against the paged KV plan, prefill newcomers, run one
+// decode step over the running batch, evict finished sequences. The
+// offline Serve trace replay and the live internal/serve loop are both
+// thin drivers over this type.
+//
+// Time is virtual: the Stepper advances its clock by the engine cost
+// model's step durations. Admission is conservative — a request is
+// admitted only when its full prompt+output KV reservation fits — so
+// no sequence can fail mid-flight.
+//
+// A Stepper is not safe for concurrent use; callers serialise
+// scheduling decisions, as vLLM's engine loop does.
+type Stepper struct {
+	// PackedPrefill selects padding-free token-packed prefill pricing
+	// (PackedPrefillTime) instead of the legacy request-level padded
+	// batch prefill (PrefillTime). The live scheduler sets it; the
+	// offline Serve path keeps the padded baseline.
+	PackedPrefill bool
+
+	e   *Engine
+	mgr *kvcache.Manager
+
+	now      float64
+	admitted []*sequence // admitted, awaiting prefill
+	active   []*sequence // prefilled, decoding
+	reserved int         // blocks reserved beyond those allocated
+
+	outputTokens int64
+	decodeSteps  int64
+	peak         int
+}
+
+type sequence struct {
+	req       Request
+	m         RequestMetrics
+	remaining int // output tokens still to produce
+	ctx       int // current context length
+	reserved  int // blocks reserved beyond those allocated
+}
+
+// NewStepper builds a stepper over the engine's KV-cache plan with an
+// empty batch and the virtual clock at zero.
+func NewStepper(e *Engine) (*Stepper, error) {
+	mgr, err := kvcache.NewManager(kvcache.Config{
+		BlockTokens: kvcache.DefaultBlockTokens,
+		TotalBlocks: e.plan.Blocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{e: e, mgr: mgr}, nil
+}
+
+// Clock returns the stepper's virtual time in seconds.
+func (s *Stepper) Clock() float64 { return s.now }
+
+// AdvanceTo moves the virtual clock forward to t (idle fast-forward to
+// the next arrival). Moving backwards is a no-op.
+func (s *Stepper) AdvanceTo(t float64) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// ActiveCount returns the number of sequences in the decoding batch.
+func (s *Stepper) ActiveCount() int { return len(s.active) }
+
+// AdmittedCount returns the number of admitted sequences awaiting
+// prefill.
+func (s *Stepper) AdmittedCount() int { return len(s.admitted) }
+
+// InFlight returns all sequences holding KV capacity (admitted or
+// decoding).
+func (s *Stepper) InFlight() int { return len(s.admitted) + len(s.active) }
+
+// OutputTokens returns the total tokens emitted so far.
+func (s *Stepper) OutputTokens() int64 { return s.outputTokens }
+
+// DecodeSteps returns the number of decode iterations run so far.
+func (s *Stepper) DecodeSteps() int64 { return s.decodeSteps }
+
+// PeakConcurrency returns the largest decoding batch seen so far.
+func (s *Stepper) PeakConcurrency() int { return s.peak }
+
+// CanAdmit reports whether a prompt+output reservation of the given
+// lengths fits in the KV blocks that are currently free and
+// unreserved.
+func (s *Stepper) CanAdmit(promptLen, outputLen int) bool {
+	need := kvcache.BlocksFor(promptLen+outputLen, kvcache.DefaultBlockTokens)
+	return need <= s.mgr.FreeBlocks()-s.reserved
+}
+
+// Admit grants the request KV capacity: its prompt blocks are
+// allocated now and the remaining output blocks reserved, so the
+// sequence can never fail mid-flight. The request joins the prefill
+// queue; its Admitted timestamp is the current virtual clock.
+func (s *Stepper) Admit(r Request) error {
+	if r.PromptLen <= 0 || r.OutputLen <= 0 {
+		return fmt.Errorf("engine: request %d invalid (%+v)", r.ID, r)
+	}
+	if !s.CanAdmit(r.PromptLen, r.OutputLen) {
+		return fmt.Errorf("engine: request %d (%d tokens) does not fit in free KV capacity",
+			r.ID, r.PromptLen+r.OutputLen)
+	}
+	if err := s.mgr.Allocate(r.ID, r.PromptLen); err != nil {
+		return err
+	}
+	need := kvcache.BlocksFor(r.PromptLen+r.OutputLen, kvcache.DefaultBlockTokens)
+	res := need - kvcache.BlocksFor(r.PromptLen, kvcache.DefaultBlockTokens)
+	s.reserved += res
+	s.admitted = append(s.admitted, &sequence{
+		req:       r,
+		m:         RequestMetrics{ID: r.ID, Arrival: r.ArrivalSeconds, Admitted: s.now},
+		remaining: r.OutputLen,
+		ctx:       r.PromptLen,
+		reserved:  res,
+	})
+	return nil
+}
+
+// Prefill runs one prefill batch over every admitted sequence, emits
+// each sequence's first token, and moves them into the decoding batch.
+// It returns the prefilled request metrics (TTFT now known) and the
+// elapsed virtual seconds (0, nil when nothing is waiting).
+func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
+	if len(s.admitted) == 0 {
+		return nil, 0
+	}
+	var elapsed float64
+	if s.PackedPrefill {
+		prompts := make([]int, len(s.admitted))
+		for i, q := range s.admitted {
+			prompts[i] = q.req.PromptLen
+		}
+		elapsed = s.e.PackedPrefillTime(prompts)
+	} else {
+		maxPrompt := 0
+		for _, q := range s.admitted {
+			if q.req.PromptLen > maxPrompt {
+				maxPrompt = q.req.PromptLen
+			}
+		}
+		elapsed = s.e.PrefillTime(len(s.admitted), maxPrompt)
+	}
+	s.now += elapsed
+	out := make([]RequestMetrics, 0, len(s.admitted))
+	for _, q := range s.admitted {
+		q.m.FirstToken = s.now
+		q.m.TTFT = s.now - q.m.Arrival
+		q.remaining-- // the prefill emits the first token
+		s.outputTokens++
+		s.active = append(s.active, q)
+		out = append(out, q.m)
+	}
+	s.admitted = s.admitted[:0]
+	if len(s.active) > s.peak {
+		s.peak = len(s.active)
+	}
+	return out, elapsed
+}
+
+// DecodeStep runs one decode iteration across the whole running batch:
+// the clock advances by the batch step cost, every live sequence
+// appends one token (claiming KV blocks at block boundaries), and
+// finished sequences release their capacity immediately. It returns
+// the metrics of sequences that finished this step and the elapsed
+// virtual seconds.
+func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
+	if len(s.active) == 0 {
+		return nil, 0, nil
+	}
+	b := len(s.active)
+	sumCtx := 0
+	for _, q := range s.active {
+		sumCtx += q.ctx
+	}
+	elapsed := s.e.BatchDecodeStepTime(b, sumCtx)
+	s.now += elapsed
+	s.decodeSteps++
+
+	var finished []RequestMetrics
+	next := s.active[:0]
+	for _, q := range s.active {
+		if q.remaining > 0 {
+			if err := s.mgr.AppendToken(q.req.ID); err != nil {
+				return nil, elapsed, fmt.Errorf("engine: reservation violated for request %d: %w", q.req.ID, err)
+			}
+			// Consume reservation as real blocks are claimed.
+			if used := kvcache.BlocksFor(q.ctx+1, kvcache.DefaultBlockTokens); used > kvcache.BlocksFor(q.ctx, kvcache.DefaultBlockTokens) && q.reserved > 0 {
+				q.reserved--
+				s.reserved--
+			}
+			q.ctx++
+			q.remaining--
+			s.outputTokens++
+		}
+		if q.remaining == 0 {
+			q.m.Finished = s.now
+			q.m.Latency = s.now - q.m.Arrival
+			if q.req.OutputLen > 1 {
+				q.m.TPOT = (q.m.Finished - q.m.FirstToken) / float64(q.req.OutputLen-1)
+			}
+			finished = append(finished, q.m)
+			s.reserved -= q.reserved
+			if err := s.mgr.Free(q.req.ID); err != nil {
+				return nil, elapsed, err
+			}
+		} else {
+			next = append(next, q)
+		}
+	}
+	s.active = next
+	return finished, elapsed, nil
+}
+
+// Close verifies the allocator after a drained run: no block may be
+// leaked or double-owned. It must only be called once every admitted
+// sequence has finished.
+func (s *Stepper) Close() error {
+	if err := s.mgr.CheckInvariants(); err != nil {
+		return fmt.Errorf("engine: allocator corrupted: %w", err)
+	}
+	if s.InFlight() != 0 {
+		return fmt.Errorf("engine: %d sequences still in flight", s.InFlight())
+	}
+	if s.mgr.UsedBlocks() != 0 || s.reserved != 0 {
+		return fmt.Errorf("engine: %d blocks leaked, %d reservations leaked", s.mgr.UsedBlocks(), s.reserved)
+	}
+	return nil
+}

@@ -11,6 +11,13 @@
 //	POST /v1/simulate          one serving run → Metrics
 //	POST /v1/trace             continuous-batching trace → TraceStats
 //	POST /v1/compress          compress synthetic weights → codec stats
+//
+// NewLiveMux adds the live serving endpoints on top, backed by the
+// continuous-batching scheduler in internal/serve:
+//
+//	POST /v1/generate          live generation (429 on queue overflow;
+//	                           NDJSON streaming with "stream": true)
+//	GET  /v1/stats             live scheduler statistics
 package httpapi
 
 import (

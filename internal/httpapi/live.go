@@ -1,0 +1,143 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"zipserv/internal/serve"
+)
+
+// NewLiveMux returns the full API handler: every stateless endpoint of
+// NewMux plus the live serving endpoints backed by the given
+// continuous-batching server:
+//
+//	POST /v1/generate          submit one generation request
+//	GET  /v1/stats             live scheduler statistics
+//
+// /v1/generate admits the request into the live scheduler's bounded
+// queue; when the queue is full it fails fast with 429 Too Many
+// Requests (the backpressure signal load balancers expect). With
+// "stream": true the response is NDJSON: one line per scheduler event
+// (admitted, first_token, finished) followed by a final result line,
+// flushed as they happen. Without streaming, the handler waits for
+// completion and returns the final per-request metrics as one JSON
+// object.
+func NewLiveMux(live *serve.Server) *http.ServeMux {
+	mux := NewMux()
+	mux.HandleFunc("/v1/generate", handleGenerate(live))
+	mux.HandleFunc("/v1/stats", handleStats(live))
+	return mux
+}
+
+// GenerateRequest is the /v1/generate body.
+type GenerateRequest struct {
+	PromptLen int  `json:"prompt_len"`
+	OutputLen int  `json:"output_len"`
+	Stream    bool `json:"stream"`
+}
+
+func handleGenerate(live *serve.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req GenerateRequest
+		if !decodePost(w, r, &req) {
+			return
+		}
+		tk, err := live.Submit(serve.Request{
+			PromptLen: req.PromptLen,
+			OutputLen: req.OutputLen,
+			Arrival:   serve.ArrivalNow,
+		})
+		switch {
+		case errors.Is(err, serve.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		case errors.Is(err, serve.ErrStopped):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+
+		// A generate response can legitimately outlive the server's
+		// blanket WriteTimeout (deep queue, long decode): lift the
+		// write deadline for this response only, leaving the stateless
+		// endpoints under the configured timeout.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
+		if req.Stream {
+			streamGenerate(w, r, tk)
+			return
+		}
+		select {
+		case res := <-tk.Result():
+			if res.Err != nil {
+				httpError(w, http.StatusInternalServerError, res.Err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, res)
+		case <-r.Context().Done():
+			// Client gone; the scheduler still completes the sequence.
+		}
+	}
+}
+
+// streamGenerate writes scheduler events as NDJSON lines, flushing
+// each so clients observe admission and first-token latency live.
+func streamGenerate(w http.ResponseWriter, r *http.Request, tk *serve.Ticket) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	events := tk.Events()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				events = nil // drained; the final result follows
+				continue
+			}
+			_ = enc.Encode(ev)
+			flush()
+		case res := <-tk.Result():
+			// Drain remaining buffered events first so the line order
+			// stays admitted → first_token → finished → result.
+			for ev := range tk.Events() {
+				_ = enc.Encode(ev)
+			}
+			type line struct {
+				Event string        `json:"event"`
+				Error string        `json:"error,omitempty"`
+				Res   *serve.Result `json:"result,omitempty"`
+			}
+			if res.Err != nil {
+				_ = enc.Encode(line{Event: "error", Error: res.Err.Error()})
+			} else {
+				_ = enc.Encode(line{Event: "result", Res: &res})
+			}
+			flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func handleStats(live *serve.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		writeJSON(w, http.StatusOK, live.Stats())
+	}
+}

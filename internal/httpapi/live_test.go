@@ -1,0 +1,225 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zipserv/internal/engine"
+	"zipserv/internal/gpu"
+	"zipserv/internal/serve"
+	"zipserv/internal/weights"
+)
+
+func newLiveBackend(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	if cfg.Engine == nil {
+		model, err := weights.ByName("LLaMA3.1-8B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := engine.New(engine.Config{
+			Model: model, Device: gpu.MustByName("RTX4090"), NumGPUs: 1,
+			Backend: engine.BackendZipServ,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Engine = eng
+	}
+	live, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		live.Start() // idempotent: a never-started server must still drain
+		if err := live.Stop(ctx); err != nil {
+			t.Errorf("live Stop: %v", err)
+		}
+	})
+	return live
+}
+
+func newLiveServer(t *testing.T, cfg serve.Config) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	live := newLiveBackend(t, cfg)
+	live.Start()
+	srv := httptest.NewServer(NewLiveMux(live))
+	t.Cleanup(srv.Close)
+	return srv, live
+}
+
+func TestGenerate(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8})
+	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 128, OutputLen: 16,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res serve.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.TTFT <= 0 || res.TPOT <= 0 || res.Latency <= 0 {
+		t.Errorf("degenerate result: %s", body)
+	}
+	if res.PromptLen != 128 || res.OutputLen != 16 {
+		t.Errorf("echoed lengths %d/%d, want 128/16", res.PromptLen, res.OutputLen)
+	}
+}
+
+func TestGenerateStream(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8})
+	b, _ := json.Marshal(GenerateRequest{PromptLen: 64, OutputLen: 8, Stream: true})
+	resp, err := srv.Client().Post(srv.URL+"/v1/generate", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, line.Event)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"admitted", "first_token", "finished", "result"}
+	if len(events) != len(want) {
+		t.Fatalf("event lines %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event lines %v, want %v", events, want)
+		}
+	}
+}
+
+func TestGenerateBackpressure429(t *testing.T) {
+	// The scheduler is deliberately not started, so the depth-1 queue
+	// cannot drain: the second submission must get 429, not block.
+	live := newLiveBackend(t, serve.Config{QueueDepth: 1})
+	srv := httptest.NewServer(NewLiveMux(live))
+	t.Cleanup(srv.Close)
+
+	if _, err := live.Submit(serve.Request{PromptLen: 32, OutputLen: 8}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 32, OutputLen: 8,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Errorf("429 body %q lacks reason", body)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	srv, live := newLiveServer(t, serve.Config{QueueDepth: 8})
+
+	// Invalid lengths.
+	resp, _ := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{PromptLen: 0, OutputLen: 8})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero prompt status %d, want 400", resp.StatusCode)
+	}
+	// A reservation beyond the whole device plan.
+	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 10, OutputLen: 100_000_000,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("impossible request status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+
+	// Stopped server → 503.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := live.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{PromptLen: 32, OutputLen: 8})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-stop status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8})
+	// Complete one request so the snapshot is non-trivial.
+	if resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 64, OutputLen: 8,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := doJSON(t, srv, http.MethodGet, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Submitted < 1 || st.Completed < 1 {
+		t.Errorf("stats not counting: %s", body)
+	}
+	if st.Goodput <= 0 || st.MeanTTFT <= 0 {
+		t.Errorf("degenerate aggregates: %s", body)
+	}
+}
+
+// TestMethodAndMalformedJSON sweeps every endpoint's wrong-method and
+// (for POST endpoints) malformed-body error paths.
+func TestMethodAndMalformedJSON(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8})
+
+	gets := []string{"/healthz", "/v1/models", "/v1/devices", "/v1/stats"}
+	for _, path := range gets {
+		if resp, _ := doJSON(t, srv, http.MethodPost, path, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status %d, want 405", path, resp.StatusCode)
+		}
+	}
+
+	posts := []string{"/v1/simulate", "/v1/trace", "/v1/compress", "/v1/generate"}
+	for _, path := range posts {
+		if resp, _ := doJSON(t, srv, http.MethodGet, path, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s status %d, want 405", path, resp.StatusCode)
+		}
+		for _, bad := range []string{`{"prompt_len":`, `[]`, `{"no_such_field":1}`} {
+			resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(bad))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("POST %s body %q status %d, want 400", path, bad, resp.StatusCode)
+			}
+		}
+	}
+}

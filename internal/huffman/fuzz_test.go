@@ -11,6 +11,11 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("hello hello hello"), uint16(4))
 	f.Add([]byte{0}, uint16(1))
 	f.Add(bytes.Repeat([]byte{1, 2, 3}, 100), uint16(7))
+	// Degenerate corners: empty input (skipped by the guard), one
+	// symbol, and a long all-identical-symbol run (degenerate tree).
+	f.Add([]byte{}, uint16(8))
+	f.Add([]byte{42}, uint16(0))
+	f.Add(bytes.Repeat([]byte{5}, 1024), uint16(100))
 	f.Fuzz(func(t *testing.T, data []byte, chunkSel uint16) {
 		if len(data) == 0 {
 			return

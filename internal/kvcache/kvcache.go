@@ -84,7 +84,10 @@ func (m *Manager) BlockTable(seqID int) ([]int, error) {
 	return append([]int(nil), t...), nil
 }
 
-func blocksFor(tokens, blockTokens int) int {
+// BlocksFor returns the number of blocks needed to hold the given
+// token count at the given block granularity. Schedulers use it to
+// size conservative admission reservations.
+func BlocksFor(tokens, blockTokens int) int {
 	return (tokens + blockTokens - 1) / blockTokens
 }
 
@@ -98,7 +101,7 @@ func (m *Manager) Allocate(seqID, numTokens int) error {
 	if numTokens <= 0 {
 		return fmt.Errorf("kvcache: sequence %d needs positive token count, got %d", seqID, numTokens)
 	}
-	need := blocksFor(numTokens, m.cfg.BlockTokens)
+	need := BlocksFor(numTokens, m.cfg.BlockTokens)
 	if need > len(m.freeList) {
 		return fmt.Errorf("kvcache: need %d blocks for %d tokens, only %d free", need, numTokens, len(m.freeList))
 	}
@@ -119,7 +122,7 @@ func (m *Manager) AppendToken(seqID int) error {
 		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
 	tokens := m.seqTokens[seqID] + 1
-	if blocksFor(tokens, m.cfg.BlockTokens) > len(table) {
+	if BlocksFor(tokens, m.cfg.BlockTokens) > len(table) {
 		if len(m.freeList) == 0 {
 			return fmt.Errorf("kvcache: out of blocks appending to sequence %d", seqID)
 		}
@@ -169,7 +172,7 @@ func (m *Manager) CheckInvariants() error {
 			}
 			seen[b] = fmt.Sprintf("seq %d", id)
 		}
-		need := blocksFor(m.seqTokens[id], m.cfg.BlockTokens)
+		need := BlocksFor(m.seqTokens[id], m.cfg.BlockTokens)
 		if need != len(table) {
 			return fmt.Errorf("kvcache: seq %d holds %d blocks for %d tokens (need %d)",
 				id, len(table), m.seqTokens[id], need)

@@ -11,6 +11,11 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("asymmetric numeral systems"), uint16(4))
 	f.Add([]byte{255}, uint16(1))
 	f.Add(bytes.Repeat([]byte{9, 9, 1}, 200), uint16(64))
+	// Degenerate corners: empty input (skipped by the guard), one
+	// symbol, and a long all-identical-symbol run.
+	f.Add([]byte{}, uint16(8))
+	f.Add([]byte{42}, uint16(0))
+	f.Add(bytes.Repeat([]byte{5}, 1024), uint16(100))
 	f.Fuzz(func(t *testing.T, data []byte, chunkSel uint16) {
 		if len(data) == 0 {
 			return

@@ -14,7 +14,23 @@
 //     DietGPU/nvCOMP-style rANS) behind one Codec interface (§6.1);
 //   - a serving simulator: GPU cost models for the paper's five
 //     evaluation devices, a paged KV cache, and end-to-end engines for
-//     the four serving stacks of §6.5.
+//     the four serving stacks of §6.5;
+//   - a live serving layer: a goroutine-based continuous-batching
+//     scheduler (NewLiveServer) with bounded-queue admission control,
+//     token-packed prefill, per-request streaming metrics (TTFT, TPOT,
+//     queue wait) and aggregate goodput, exposed over HTTP by
+//     cmd/zipserv-server as POST /v1/generate (429 on queue overflow,
+//     NDJSON streaming) and GET /v1/stats.
+//
+// The live scheduler runs one engine loop goroutine that, each
+// iteration, admits queued requests FIFO against the paged KV-cache
+// plan (conservative prompt+output reservation, so no sequence fails
+// mid-flight), prefills newcomers as one padding-free packed batch,
+// runs one decode step over the whole running batch, and evicts
+// finished sequences so their blocks fund the next admissions. The
+// offline Serve trace replay drives the same state machine
+// (engine.Stepper) with request-level padded prefill, which makes it
+// the static-batch baseline the live loop is benchmarked against.
 //
 // Quick start:
 //
@@ -38,6 +54,7 @@ import (
 	"zipserv/internal/gpu"
 	"zipserv/internal/kvcache"
 	"zipserv/internal/quant"
+	"zipserv/internal/serve"
 	"zipserv/internal/stats"
 	"zipserv/internal/warp"
 	"zipserv/internal/weights"
@@ -242,6 +259,41 @@ type RequestMetrics = engine.RequestMetrics
 func SyntheticTrace(n int, ratePerSec float64, meanPrompt, meanOutput int, seed int64) []ServeRequest {
 	return engine.SyntheticTrace(n, ratePerSec, meanPrompt, meanOutput, seed)
 }
+
+// ---- Live continuous-batching serving ----
+
+// LiveServer is the live continuous-batching scheduler: requests enter
+// a bounded admission queue and are batched at iteration granularity
+// against the KV-cache plan.
+type LiveServer = serve.Server
+
+// LiveConfig configures a live server.
+type LiveConfig = serve.Config
+
+// LiveRequest is one live generation request.
+type LiveRequest = serve.Request
+
+// LiveTicket tracks an accepted live request (streaming events and the
+// final result).
+type LiveTicket = serve.Ticket
+
+// LiveResult is the final per-request record (TTFT, TPOT, queue wait,
+// latency).
+type LiveResult = serve.Result
+
+// LiveStats is an aggregate snapshot of the live scheduler.
+type LiveStats = serve.Stats
+
+// Live submission errors.
+var (
+	ErrLiveQueueFull = serve.ErrQueueFull
+	ErrLiveStopped   = serve.ErrStopped
+)
+
+// NewLiveServer builds a live continuous-batching server over an
+// engine. Call Start to launch the scheduler goroutine and Stop for a
+// graceful drain.
+func NewLiveServer(cfg LiveConfig) (*LiveServer, error) { return serve.New(cfg) }
 
 // ---- Warp-level divergence analysis (§3.2) ----
 
