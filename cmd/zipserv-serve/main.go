@@ -7,18 +7,27 @@
 // offline static-batch path, and reports the goodput gain of
 // iteration-level scheduling with token-packed prefill.
 //
+// With -compare-policies it replays one mixed interactive/batch trace
+// through the live scheduler under each admission policy (fifo,
+// priority, slo) and reports per-class TTFT percentiles — the
+// scheduling win of class- and deadline-aware admission over FIFO
+// head-of-line blocking.
+//
 // Usage:
 //
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -batch 32 -out 2048
 //	zipserv-serve -model LLaMA3.1-70B -device L40S -gpus 4 -compare
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -live -requests 64 -rate 100
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-policies -requests 64
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"time"
 
 	"zipserv"
@@ -34,15 +43,20 @@ func main() {
 	out := flag.Int("out", 512, "output length in tokens")
 	compare := flag.Bool("compare", false, "run all four backends and compare")
 	live := flag.Bool("live", false, "replay a synthetic trace through the live continuous-batching scheduler")
+	comparePolicies := flag.Bool("compare-policies", false,
+		"replay a mixed interactive/batch trace under each admission policy and compare per-class TTFT")
 	requests := flag.Int("requests", 64, "live mode: number of trace requests")
 	rate := flag.Float64("rate", 100, "live mode: Poisson arrival rate (req/s)")
 	seed := flag.Int64("seed", 7, "live mode: trace seed")
 	flag.Parse()
 
 	var err error
-	if *live {
+	switch {
+	case *comparePolicies:
+		err = runComparePolicies(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed)
+	case *live:
 		err = runLive(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed)
-	} else {
+	default:
 		err = run(*model, *device, *gpus, *backend, *batch, *prompt, *out, *compare)
 	}
 	if err != nil {
@@ -162,4 +176,103 @@ func runLive(modelName, device string, gpus int, backend string, n int, rate flo
 		"live continuous-batching", st.SimSeconds, liveGoodput, st.MeanTTFT, st.PeakConcurrency)
 	fmt.Printf("\nlive goodput gain: %.2fx\n", liveGoodput/offGoodput)
 	return nil
+}
+
+// runComparePolicies replays one mixed trace — alternating interactive
+// requests (the flag lengths, a 250 ms TTFT deadline) and batch
+// requests (8× longer, no deadline) — through the live scheduler under
+// each admission policy, and prints per-class TTFT percentiles.
+func runComparePolicies(modelName, device string, gpus int, backend string, n int, rate float64, prompt, out int, seed int64) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	base := zipserv.SyntheticTrace(n, rate, prompt, out, seed)
+	if base == nil {
+		return fmt.Errorf("invalid trace parameters")
+	}
+	reqs := make([]zipserv.LiveRequest, len(base))
+	for i, r := range base {
+		reqs[i] = zipserv.LiveRequest{
+			PromptLen: prompt, OutputLen: out, Arrival: r.ArrivalSeconds,
+			Class: zipserv.LiveClassInteractive, TTFTDeadline: 0.25,
+		}
+		if i%2 == 1 {
+			reqs[i] = zipserv.LiveRequest{
+				PromptLen: 8 * prompt, OutputLen: 8 * out, Arrival: r.ArrivalSeconds,
+				Class: zipserv.LiveClassBatch,
+			}
+		}
+	}
+
+	fmt.Printf("mixed trace: %d requests, %.0f req/s Poisson, interactive %d/%d vs batch %d/%d (%s on %dx %s, %s)\n\n",
+		n, rate, prompt, out, 8*prompt, 8*out, modelName, gpus, device, backend)
+	fmt.Printf("%-10s %16s %16s %16s %14s %10s\n",
+		"policy", "int p50 TTFT(s)", "int p95 TTFT(s)", "bat p50 TTFT(s)", "goodput(r/s)", "preempted")
+	for _, name := range zipserv.LivePolicyNames() {
+		policy, err := zipserv.LivePolicyByName(name)
+		if err != nil {
+			return err
+		}
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+		})
+		if err != nil {
+			return err
+		}
+		srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{
+			Engine: eng, QueueDepth: len(reqs), Policy: policy,
+		})
+		if err != nil {
+			return err
+		}
+		tickets := make([]*zipserv.LiveTicket, len(reqs))
+		for i, r := range reqs {
+			if tickets[i], err = srv.Submit(r); err != nil {
+				return err
+			}
+		}
+		srv.Start()
+		var intTTFT, batTTFT []float64
+		for i, tk := range tickets {
+			res := <-tk.Result()
+			if res.Err != nil {
+				return res.Err
+			}
+			if reqs[i].Class == zipserv.LiveClassBatch {
+				batTTFT = append(batTTFT, res.TTFT)
+			} else {
+				intTTFT = append(intTTFT, res.TTFT)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = srv.Stop(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		st := srv.Stats()
+		fmt.Printf("%-10s %16.3f %16.3f %16.3f %14.2f %10d\n",
+			name, percentile(intTTFT, 0.50), percentile(intTTFT, 0.95),
+			percentile(batTTFT, 0.50), st.Goodput, st.Preempted)
+	}
+	return nil
+}
+
+// percentile returns the p-quantile (0..1) of xs by nearest rank.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(p*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
 }

@@ -1,21 +1,26 @@
 // Command zipserv-server exposes the ZipServ serving simulator as an
 // HTTP API: the stateless control plane (capacity planning, run
 // simulation, trace-driven continuous batching, compression what-ifs)
-// plus a live continuous-batching data plane for one deployment
-// (POST /v1/generate with streaming metrics, GET /v1/stats).
+// plus a live continuous-batching data plane (POST /v1/generate with
+// streaming metrics, GET /v1/stats) — one engine replica by default,
+// or a sharded fleet behind a capacity-aware router with -replicas,
+// under the admission policy chosen with -policy.
 //
 // Usage:
 //
 //	zipserv-server -addr :8080 -model LLaMA3.1-8B -device RTX4090
+//	zipserv-server -replicas 4 -policy priority
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
 //	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64}'
-//	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64,"stream":true}'
+//	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64,"priority":"batch"}'
+//	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64,"ttft_deadline_ms":250,"stream":true}'
 //	curl localhost:8080/v1/stats
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
-// stops accepting, in-flight HTTP requests get a drain window, and the
-// live scheduler serves everything it already admitted to completion.
+// stops accepting, in-flight HTTP requests get a drain window, and
+// every live scheduler replica serves what it already admitted to
+// completion.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,10 +44,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelName := flag.String("model", "LLaMA3.1-8B", "live deployment: model name from the zoo")
 	device := flag.String("device", "RTX4090", "live deployment: GPU model")
-	gpus := flag.Int("gpus", 1, "live deployment: tensor-parallel degree")
+	gpus := flag.Int("gpus", 1, "live deployment: tensor-parallel degree per replica")
 	backend := flag.String("backend", "zipserv", "live deployment: zipserv, vllm, transformers, dfloat11")
-	queueDepth := flag.Int("queue", 256, "live admission queue depth (beyond it, /v1/generate returns 429)")
-	maxBatch := flag.Int("max-batch", 0, "cap on concurrently scheduled sequences (0 = KV capacity only)")
+	replicas := flag.Int("replicas", 1, "live deployment: engine replicas behind the capacity-aware router")
+	policyName := flag.String("policy", "fifo", "admission policy: "+strings.Join(serve.PolicyNames(), ", "))
+	queueDepth := flag.Int("queue", 256, "per-replica admission queue depth (beyond it, /v1/generate returns 429)")
+	maxBatch := flag.Int("max-batch", 0, "per-replica cap on concurrently scheduled sequences (0 = KV capacity only)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -53,15 +61,39 @@ func main() {
 	if err != nil {
 		log.Fatalf("zipserv-server: %v", err)
 	}
-	eng, err := engine.New(engine.Config{
-		Model: model, Device: dev, NumGPUs: *gpus, Backend: engine.Backend(*backend),
-	})
-	if err != nil {
-		log.Fatalf("zipserv-server: %v", err)
+	if *replicas < 1 {
+		log.Fatalf("zipserv-server: -replicas must be >= 1, got %d", *replicas)
 	}
-	live, err := serve.New(serve.Config{Engine: eng, QueueDepth: *queueDepth, MaxBatch: *maxBatch})
-	if err != nil {
-		log.Fatalf("zipserv-server: %v", err)
+
+	// Each replica gets its own engine (its own KV plan and virtual
+	// clock), modelling one GPU/node; the router shards across them.
+	servers := make([]serve.Backend, *replicas)
+	for i := range servers {
+		eng, err := engine.New(engine.Config{
+			Model: model, Device: dev, NumGPUs: *gpus, Backend: engine.Backend(*backend),
+		})
+		if err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
+		policy, err := serve.PolicyByName(*policyName)
+		if err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
+		srv, err := serve.New(serve.Config{
+			Engine: eng, QueueDepth: *queueDepth, MaxBatch: *maxBatch, Policy: policy,
+		})
+		if err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
+		servers[i] = srv
+	}
+	var live serve.Backend = servers[0]
+	if *replicas > 1 {
+		router, err := serve.NewRouter(servers...)
+		if err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
+		live = router
 	}
 	live.Start()
 
@@ -78,8 +110,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("zipserv-server listening on %s (live: %s on %dx %s, %s backend)",
-		*addr, *modelName, *gpus, *device, *backend)
+	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy)",
+		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName)
 
 	select {
 	case err := <-errCh:

@@ -129,6 +129,47 @@ func (s *Stepper) Admit(r Request) error {
 	return nil
 }
 
+// FreeBlocks returns the KV blocks currently free and unreserved — the
+// admission headroom a scheduling policy or replica router sees.
+func (s *Stepper) FreeBlocks() int { return s.mgr.FreeBlocks() - s.reserved }
+
+// Preempt evicts the in-flight sequence with the given id, releasing
+// every KV block it holds (allocated and reserved) and discounting the
+// tokens it already emitted, so that the capacity can fund a more
+// urgent admission. It returns the sequence's original Request, which
+// the caller requeues: on re-admission the sequence restarts from
+// scratch (prefill and all output tokens are recomputed), exactly the
+// preempt-and-recompute discipline vLLM applies under memory pressure.
+// The second result is false when no in-flight sequence has that id.
+func (s *Stepper) Preempt(id int) (Request, bool) {
+	for i, q := range s.admitted {
+		if q.req.ID == id {
+			s.admitted = append(s.admitted[:i], s.admitted[i+1:]...)
+			return s.evict(q), true
+		}
+	}
+	for i, q := range s.active {
+		if q.req.ID == id {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return s.evict(q), true
+		}
+	}
+	return Request{}, false
+}
+
+// evict releases a preempted sequence's capacity and token accounting.
+func (s *Stepper) evict(q *sequence) Request {
+	s.reserved -= q.reserved
+	if err := s.mgr.Free(q.req.ID); err != nil {
+		// Unreachable: every in-flight sequence owns an allocation.
+		panic(fmt.Sprintf("engine: preempt freed unallocated request %d: %v", q.req.ID, err))
+	}
+	// OutputTokens counts useful tokens only; a preempted sequence's
+	// partial output is recomputed after re-admission.
+	s.outputTokens -= int64(q.req.OutputLen - q.remaining)
+	return q.req
+}
+
 // Prefill runs one prefill batch over every admitted sequence, emits
 // each sequence's first token, and moves them into the decoding batch.
 // It returns the prefilled request metrics (TTFT now known) and the

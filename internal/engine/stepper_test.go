@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"testing"
+
+	"zipserv/internal/gpu"
+	"zipserv/internal/weights"
+)
+
+func stepperEngine(t *testing.T) *Engine {
+	t.Helper()
+	model, err := weights.ByName("LLaMA3.1-8B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Model: model, Device: gpu.MustByName("RTX4090"), NumGPUs: 1, Backend: BackendZipServ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestStepperPreempt exercises the preempt-and-requeue hook: evicting a
+// decoding sequence must return every block it held (allocated and
+// reserved), discount its partial output, and leave the allocator clean
+// after the re-admitted run drains.
+func TestStepperPreempt(t *testing.T) {
+	e := stepperEngine(t)
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.PackedPrefill = true
+
+	freeBefore := sp.FreeBlocks()
+	r1 := Request{ID: 1, PromptLen: 256, OutputLen: 64}
+	r2 := Request{ID: 2, PromptLen: 512, OutputLen: 128}
+	for _, r := range []Request{r1, r2} {
+		if err := sp.Admit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp.Prefill()
+	for i := 0; i < 5; i++ {
+		if _, _, err := sp.DecodeStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tokensBefore := sp.OutputTokens()
+
+	req, ok := sp.Preempt(r2.ID)
+	if !ok || req.ID != r2.ID || req.OutputLen != r2.OutputLen {
+		t.Fatalf("Preempt(%d) = %+v, %v", r2.ID, req, ok)
+	}
+	if _, ok := sp.Preempt(99); ok {
+		t.Error("Preempt of unknown id reported success")
+	}
+	if sp.InFlight() != 1 {
+		t.Fatalf("in flight %d after preemption, want 1", sp.InFlight())
+	}
+	// r2's 1 prefill + 5 decode tokens are discounted as wasted work.
+	if got := sp.OutputTokens(); got != tokensBefore-6 {
+		t.Errorf("output tokens %d after preemption, want %d", got, tokensBefore-6)
+	}
+
+	// The freed capacity funds re-admission; drain both to completion.
+	if !sp.CanAdmit(req.PromptLen, req.OutputLen) {
+		t.Fatal("freed capacity does not readmit the preempted request")
+	}
+	if err := sp.Admit(req); err != nil {
+		t.Fatal(err)
+	}
+	sp.Prefill()
+	for sp.InFlight() > 0 {
+		if _, _, err := sp.DecodeStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sp.FreeBlocks(); got != freeBefore {
+		t.Errorf("free blocks %d after drain, want %d (leak)", got, freeBefore)
+	}
+	if err := sp.Close(); err != nil {
+		t.Errorf("Close after preempt/readmit/drain: %v", err)
+	}
+	// Useful-token accounting: exactly one full output per request.
+	if got, want := sp.OutputTokens(), int64(r1.OutputLen+r2.OutputLen); got != want {
+		t.Errorf("output tokens %d, want %d", got, want)
+	}
+}

@@ -12,12 +12,22 @@
 //	POST /v1/trace             continuous-batching trace → TraceStats
 //	POST /v1/compress          compress synthetic weights → codec stats
 //
-// NewLiveMux adds the live serving endpoints on top, backed by the
-// continuous-batching scheduler in internal/serve:
+// NewLiveMux adds the live serving endpoints on top, backed by a
+// serve.Backend — one continuous-batching server or a sharded replica
+// router (internal/serve):
 //
-//	POST /v1/generate          live generation (429 on queue overflow;
-//	                           NDJSON streaming with "stream": true)
-//	GET  /v1/stats             live scheduler statistics
+//	POST /v1/generate          live generation (429 + drain-rate
+//	                           Retry-After on queue overflow, 422 when
+//	                           the KV reservation can never fit; NDJSON
+//	                           streaming with "stream": true; optional
+//	                           "priority" and "ttft_deadline_ms"
+//	                           scheduling fields)
+//	GET  /v1/stats             live scheduler statistics (aggregate
+//	                           plus per-replica breakdown on a router)
+//
+// Live-endpoint failures carry a machine-readable body:
+//
+//	{"error":{"code":"queue_full"|"kv_never_fits"|"stopped"|"invalid_request","message":"..."}}
 package httpapi
 
 import (

@@ -3,28 +3,45 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"zipserv/internal/serve"
 )
 
 // NewLiveMux returns the full API handler: every stateless endpoint of
-// NewMux plus the live serving endpoints backed by the given
-// continuous-batching server:
+// NewMux plus the live serving endpoints backed by the given backend —
+// a single continuous-batching server or a sharded replica router:
 //
 //	POST /v1/generate          submit one generation request
 //	GET  /v1/stats             live scheduler statistics
 //
 // /v1/generate admits the request into the live scheduler's bounded
 // queue; when the queue is full it fails fast with 429 Too Many
-// Requests (the backpressure signal load balancers expect). With
-// "stream": true the response is NDJSON: one line per scheduler event
-// (admitted, first_token, finished) followed by a final result line,
-// flushed as they happen. Without streaming, the handler waits for
-// completion and returns the final per-request metrics as one JSON
-// object.
-func NewLiveMux(live *serve.Server) *http.ServeMux {
+// Requests (the backpressure signal load balancers expect) and a
+// Retry-After estimated from the current queue drain rate. Requests
+// whose KV reservation exceeds the device plan get 422 Unprocessable
+// Entity. Failures carry a machine-readable body:
+//
+//	{"error":{"code":"queue_full"|"kv_never_fits"|"stopped"|"invalid_request","message":"..."}}
+//
+// The request body accepts two scheduling fields beyond the lengths:
+// "priority" ("interactive", the default, or "batch", consumed by the
+// priority policy) and "ttft_deadline_ms" (a first-token SLO consumed
+// by the slo policy). Both are ignored under the default FIFO policy,
+// so requests without them behave exactly as before.
+//
+// With "stream": true the response is NDJSON: one line per scheduler
+// event (admitted, first_token, preempted, finished) followed by a
+// final result line, flushed as they happen. Without streaming, the
+// handler waits for completion and returns the final per-request
+// metrics as one JSON object.
+//
+// When the backend is a router, /v1/stats reports the fleet aggregate
+// plus a per-replica breakdown under "replicas".
+func NewLiveMux(live serve.Backend) *http.ServeMux {
 	mux := NewMux()
 	mux.HandleFunc("/v1/generate", handleGenerate(live))
 	mux.HandleFunc("/v1/stats", handleStats(live))
@@ -36,29 +53,87 @@ type GenerateRequest struct {
 	PromptLen int  `json:"prompt_len"`
 	OutputLen int  `json:"output_len"`
 	Stream    bool `json:"stream"`
+	// Priority is the request's class: "interactive" (default) or
+	// "batch". Consumed by the priority scheduling policy.
+	Priority string `json:"priority,omitempty"`
+	// TTFTDeadlineMs is the first-token SLO in milliseconds after
+	// arrival. Consumed by the slo scheduling policy; 0 = no deadline.
+	TTFTDeadlineMs float64 `json:"ttft_deadline_ms,omitempty"`
 }
 
-func handleGenerate(live *serve.Server) http.HandlerFunc {
+// Machine-readable error codes of the live endpoints.
+const (
+	ErrCodeQueueFull      = "queue_full"      // 429: admission queue at capacity
+	ErrCodeNeverFits      = "kv_never_fits"   // 422: reservation exceeds the device plan
+	ErrCodeStopped        = "stopped"         // 503: backend shut down
+	ErrCodeInvalidRequest = "invalid_request" // 400: malformed scheduling parameters
+)
+
+// apiError is the structured error body: {"error":{"code","message"}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func structuredError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// retryAfterSeconds estimates how long a rejected caller should back
+// off before the queue has drained: queued requests over the recent
+// wall-clock completion rate (completions per real second over the
+// scheduler's ~30s window — the virtual-time goodput would overstate
+// the backoff by however much faster than real time the scheduler
+// runs, and a lifetime average never recovers from an idle stretch),
+// clamped to [1s, 60s]. With no recent completion the drain rate is
+// unknown and the floor applies.
+func retryAfterSeconds(st serve.Stats) string {
+	if st.Queued <= 0 || st.RecentDrainRPS <= 0 {
+		return "1"
+	}
+	secs := math.Ceil(float64(st.Queued) / st.RecentDrainRPS)
+	return strconv.Itoa(int(math.Min(math.Max(secs, 1), 60)))
+}
+
+func handleGenerate(live serve.Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req GenerateRequest
 		if !decodePost(w, r, &req) {
 			return
 		}
+		class := serve.Class(req.Priority)
+		switch class {
+		case "", serve.ClassInteractive, serve.ClassBatch:
+		default:
+			structuredError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+				"priority must be \"interactive\" or \"batch\"")
+			return
+		}
+		if req.TTFTDeadlineMs < 0 {
+			structuredError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+				"ttft_deadline_ms must be non-negative")
+			return
+		}
 		tk, err := live.Submit(serve.Request{
-			PromptLen: req.PromptLen,
-			OutputLen: req.OutputLen,
-			Arrival:   serve.ArrivalNow,
+			PromptLen:    req.PromptLen,
+			OutputLen:    req.OutputLen,
+			Arrival:      serve.ArrivalNow,
+			Class:        class,
+			TTFTDeadline: req.TTFTDeadlineMs / 1000,
 		})
 		switch {
 		case errors.Is(err, serve.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusTooManyRequests, err.Error())
+			w.Header().Set("Retry-After", retryAfterSeconds(live.Stats()))
+			structuredError(w, http.StatusTooManyRequests, ErrCodeQueueFull, err.Error())
+			return
+		case errors.Is(err, serve.ErrNeverFits):
+			structuredError(w, http.StatusUnprocessableEntity, ErrCodeNeverFits, err.Error())
 			return
 		case errors.Is(err, serve.ErrStopped):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			structuredError(w, http.StatusServiceUnavailable, ErrCodeStopped, err.Error())
 			return
 		case err != nil:
-			httpError(w, http.StatusBadRequest, err.Error())
+			structuredError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err.Error())
 			return
 		}
 
@@ -132,10 +207,30 @@ func streamGenerate(w http.ResponseWriter, r *http.Request, tk *serve.Ticket) {
 	}
 }
 
-func handleStats(live *serve.Server) http.HandlerFunc {
+// RoutedStats is the /v1/stats body for a sharded deployment: the
+// fleet aggregate inline plus the per-replica breakdown.
+type RoutedStats struct {
+	serve.Stats
+	Replicas []serve.Stats `json:"replicas"`
+}
+
+// fleetSnapshotter is implemented by serve.Router; any backend
+// exposing a consistent aggregate + per-replica snapshot (computed in
+// one pass, so the breakdown sums to the aggregate) gets the routed
+// stats shape.
+type fleetSnapshotter interface {
+	Snapshot() (serve.Stats, []serve.Stats)
+}
+
+func handleStats(live serve.Backend) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		if fs, ok := live.(fleetSnapshotter); ok {
+			agg, per := fs.Snapshot()
+			writeJSON(w, http.StatusOK, RoutedStats{Stats: agg, Replicas: per})
 			return
 		}
 		writeJSON(w, http.StatusOK, live.Stats())

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -149,12 +150,22 @@ func TestGenerateErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("zero prompt status %d, want 400", resp.StatusCode)
 	}
-	// A reservation beyond the whole device plan.
+	// A reservation beyond the whole device plan: 422 with the
+	// machine-readable kv_never_fits code.
 	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
 		PromptLen: 10, OutputLen: 100_000_000,
 	})
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("impossible request status %d, want 400 (%s)", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("impossible request status %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	var never struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &never); err != nil {
+		t.Fatalf("unstructured 422 body %q: %v", body, err)
+	}
+	if never.Error.Code != ErrCodeNeverFits || never.Error.Message == "" {
+		t.Errorf("422 error = %+v, want code %q with a message", never.Error, ErrCodeNeverFits)
 	}
 
 	// Stopped server → 503.
@@ -191,6 +202,148 @@ func TestStats(t *testing.T) {
 	}
 	if st.Goodput <= 0 || st.MeanTTFT <= 0 {
 		t.Errorf("degenerate aggregates: %s", body)
+	}
+}
+
+// TestGenerateSchedulingFields: priority and ttft_deadline_ms are
+// accepted and echoed, and invalid values get a structured 400.
+func TestGenerateSchedulingFields(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8, Policy: serve.SLOPolicy{}})
+	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 64, OutputLen: 8, Priority: "batch", TTFTDeadlineMs: 500,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res serve.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != serve.ClassBatch {
+		t.Errorf("echoed class %q, want batch", res.Class)
+	}
+
+	for _, bad := range []GenerateRequest{
+		{PromptLen: 64, OutputLen: 8, Priority: "urgent"},
+		{PromptLen: 64, OutputLen: 8, TTFTDeadlineMs: -1},
+	} {
+		resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %+v status %d, want 400 (%s)", bad, resp.StatusCode, body)
+		}
+		var e struct {
+			Error apiError `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != ErrCodeInvalidRequest {
+			t.Errorf("400 body %s, want code %q", body, ErrCodeInvalidRequest)
+		}
+	}
+}
+
+// TestStructuredBackpressure: 429 and 503 carry machine-readable codes,
+// and Retry-After is a positive integer derived from the queue state.
+func TestStructuredBackpressure(t *testing.T) {
+	live := newLiveBackend(t, serve.Config{QueueDepth: 1})
+	srv := httptest.NewServer(NewLiveMux(live))
+	t.Cleanup(srv.Close)
+
+	if _, err := live.Submit(serve.Request{PromptLen: 32, OutputLen: 8}); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 32, OutputLen: 8,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != ErrCodeQueueFull {
+		t.Errorf("429 body %s, want code %q", body, ErrCodeQueueFull)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	live.Start()
+	if err := live.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{PromptLen: 32, OutputLen: 8})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-stop status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != ErrCodeStopped {
+		t.Errorf("503 body %s, want code %q", body, ErrCodeStopped)
+	}
+}
+
+// TestRetryAfterDerivation pins the drain-rate estimate.
+func TestRetryAfterDerivation(t *testing.T) {
+	cases := []struct {
+		st   serve.Stats
+		want string
+	}{
+		{serve.Stats{}, "1"},                                            // no signal yet
+		{serve.Stats{Queued: 10}, "1"},                                  // unknown drain rate
+		{serve.Stats{Queued: 10, RecentDrainRPS: 2}, "5"},               // 10 queued / 2 rps
+		{serve.Stats{Queued: 1000, RecentDrainRPS: 1}, "60"},            // clamped
+		{serve.Stats{Queued: 50, RecentDrainRPS: 5000}, "1"},            // fast drain → floor
+		{serve.Stats{Queued: 10, Completed: 9, WallSeconds: 3600}, "1"}, // idle history alone is no signal
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.st); got != c.want {
+			t.Errorf("retryAfterSeconds(%+v) = %q, want %q", c.st, got, c.want)
+		}
+	}
+}
+
+// TestRoutedStats: behind a router, /v1/stats reports the fleet
+// aggregate plus a per-replica breakdown.
+func TestRoutedStats(t *testing.T) {
+	r1 := newLiveBackend(t, serve.Config{QueueDepth: 8})
+	r2 := newLiveBackend(t, serve.Config{QueueDepth: 8})
+	router, err := serve.NewRouter(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	srv := httptest.NewServer(NewLiveMux(router))
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 4; i++ {
+		if resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+			PromptLen: 64, OutputLen: 8,
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("generate status %d: %s", resp.StatusCode, body)
+		}
+	}
+	resp, body := doJSON(t, srv, http.MethodGet, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st RoutedStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Replicas) != 2 {
+		t.Fatalf("replicas %d, want 2 (%s)", len(st.Replicas), body)
+	}
+	if st.Completed != 4 {
+		t.Errorf("aggregate completed %d, want 4 (%s)", st.Completed, body)
+	}
+	var sum int64
+	for i, rep := range st.Replicas {
+		sum += rep.Completed
+		if rep.TotalKVBlocks <= 0 {
+			t.Errorf("replica %d reports no KV plan (%s)", i, body)
+		}
+	}
+	if sum != st.Completed {
+		t.Errorf("replica completions %d do not sum to aggregate %d", sum, st.Completed)
 	}
 }
 

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend is the serving surface the HTTP layer binds to: one live
+// scheduler (*Server) or a sharded fleet of them (*Router). Submit,
+// Stats and Stop follow the Server semantics; Start is idempotent.
+type Backend interface {
+	// Start launches the backend's scheduler goroutine(s).
+	Start()
+	// Submit offers a request without blocking (ErrQueueFull,
+	// ErrStopped, ErrNeverFits on failure).
+	Submit(Request) (*Ticket, error)
+	// Stats returns an aggregate snapshot, safe for concurrent use.
+	Stats() Stats
+	// Stop drains gracefully: everything admitted is served, new
+	// submissions fail with ErrStopped.
+	Stop(context.Context) error
+}
+
+// Router shards traffic across N replica backends with capacity-aware
+// dispatch: each Submit ranks the replicas least-loaded-first by their
+// Stats snapshot — fewest queued+active requests, then most free KV
+// blocks — and fails over down the ranking when a replica's queue is
+// full or it has stopped, so draining one replica reroutes traffic
+// without failed requests. A Router is itself a Backend, so deployments
+// nest (e.g. a router over per-node routers over per-GPU servers).
+type Router struct {
+	replicas []Backend
+
+	// Router-level admission outcomes. Failover probes bump the
+	// replicas' own rejected counters even when the request lands
+	// elsewhere, so the fleet aggregate reports these instead: what
+	// clients actually observed.
+	submitted atomic.Int64
+	rejected  atomic.Int64
+}
+
+var _ Backend = (*Router)(nil)
+
+// NewRouter builds a router over the given replicas (at least one).
+// The replicas are typically *Server instances over per-GPU or
+// per-node engines; the router does not start or own their engines.
+func NewRouter(replicas ...Backend) (*Router, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("serve: router needs at least one replica")
+	}
+	for i, b := range replicas {
+		if b == nil {
+			return nil, fmt.Errorf("serve: router replica %d is nil", i)
+		}
+	}
+	return &Router{replicas: append([]Backend(nil), replicas...)}, nil
+}
+
+// Replicas returns the number of replicas behind the router.
+func (r *Router) Replicas() int { return len(r.replicas) }
+
+// Start launches every replica.
+func (r *Router) Start() {
+	for _, b := range r.replicas {
+		b.Start()
+	}
+}
+
+// Submit dispatches the request to the least-loaded replica, failing
+// over in load order. The returned error is the most retryable one
+// observed: a full queue (the caller should back off and retry) wins
+// over a stopped replica; ErrNeverFits is returned only when no
+// running replica could ever admit the request.
+func (r *Router) Submit(req Request) (*Ticket, error) {
+	type candidate struct {
+		b    Backend
+		load int
+		free int
+	}
+	cands := make([]candidate, 0, len(r.replicas))
+	for _, b := range r.replicas {
+		st := b.Stats()
+		cands = append(cands, candidate{b: b, load: st.Queued + st.Active, free: st.FreeKVBlocks})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].free > cands[j].free
+	})
+	var queueFull, neverFits, lastErr error
+	for _, c := range cands {
+		tk, err := c.b.Submit(req)
+		if err == nil {
+			r.submitted.Add(1)
+			return tk, nil
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			queueFull = err
+		case errors.Is(err, ErrNeverFits):
+			neverFits = err
+		default:
+			lastErr = err
+		}
+	}
+	if queueFull != nil {
+		r.rejected.Add(1)
+		return nil, queueFull
+	}
+	if neverFits != nil {
+		return nil, neverFits
+	}
+	return nil, lastErr
+}
+
+// Stats returns the fleet-wide aggregate: counters, queue depths and
+// KV headroom summed across replicas, SimSeconds the slowest replica's
+// clock, rates recomputed against it, and latency means weighted by
+// each replica's completions. PeakConcurrency sums the per-replica
+// peaks (an upper bound: replica clocks are independent). Submitted
+// and Rejected are counted at the router, not summed: a failover probe
+// into a full replica is not a client-visible rejection.
+func (r *Router) Stats() Stats {
+	agg, _ := r.Snapshot()
+	return agg
+}
+
+// Snapshot returns the fleet aggregate and the per-replica breakdown
+// computed from one pass over the replicas, so the breakdown always
+// sums to the aggregate it is served alongside.
+func (r *Router) Snapshot() (Stats, []Stats) {
+	per := r.ReplicaStats()
+	agg := aggregateStats(per)
+	agg.Submitted = r.submitted.Load()
+	agg.Rejected = r.rejected.Load()
+	return agg, per
+}
+
+// ReplicaStats snapshots every replica, in router order — the
+// per-replica breakdown behind a routed /v1/stats.
+func (r *Router) ReplicaStats() []Stats {
+	out := make([]Stats, len(r.replicas))
+	for i, b := range r.replicas {
+		out[i] = b.Stats()
+	}
+	return out
+}
+
+// Stop drains every replica concurrently and joins their errors.
+func (r *Router) Stop(ctx context.Context) error {
+	errs := make([]error, len(r.replicas))
+	var wg sync.WaitGroup
+	for i, b := range r.replicas {
+		wg.Add(1)
+		go func(i int, b Backend) {
+			defer wg.Done()
+			errs[i] = b.Stop(ctx)
+		}(i, b)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// aggregateStats folds per-replica snapshots into one fleet view.
+func aggregateStats(replicas []Stats) Stats {
+	var agg Stats
+	var ttft, tpot, wait float64
+	for i, st := range replicas {
+		agg.Submitted += st.Submitted
+		agg.Rejected += st.Rejected
+		agg.Completed += st.Completed
+		agg.Failed += st.Failed
+		agg.Preempted += st.Preempted
+		agg.Queued += st.Queued
+		agg.Active += st.Active
+		agg.FreeKVBlocks += st.FreeKVBlocks
+		agg.TotalKVBlocks += st.TotalKVBlocks
+		agg.OutputTokens += st.OutputTokens
+		agg.DecodeSteps += st.DecodeSteps
+		agg.PeakConcurrency += st.PeakConcurrency
+		agg.RecentDrainRPS += st.RecentDrainRPS
+		if st.SimSeconds > agg.SimSeconds {
+			agg.SimSeconds = st.SimSeconds
+		}
+		if st.WallSeconds > agg.WallSeconds {
+			agg.WallSeconds = st.WallSeconds
+		}
+		if i == 0 {
+			agg.Policy = st.Policy
+		} else if agg.Policy != st.Policy {
+			agg.Policy = "mixed"
+		}
+		ttft += st.MeanTTFT * float64(st.Completed)
+		tpot += st.MeanTPOT * float64(st.Completed)
+		wait += st.MeanQueueWait * float64(st.Completed)
+	}
+	if agg.Completed > 0 {
+		agg.MeanTTFT = ttft / float64(agg.Completed)
+		agg.MeanTPOT = tpot / float64(agg.Completed)
+		agg.MeanQueueWait = wait / float64(agg.Completed)
+	}
+	if agg.SimSeconds > 0 {
+		agg.Goodput = float64(agg.Completed) / agg.SimSeconds
+		agg.Throughput = float64(agg.OutputTokens) / agg.SimSeconds
+	}
+	return agg
+}

@@ -6,22 +6,36 @@
 //
 // # Design
 //
-// One scheduler goroutine owns an engine.Stepper (the iteration-level
-// continuous-batching state machine over the paged KV-cache plan) and
-// loops over three phases, exactly as a vLLM-class engine loop does:
+// The package separates the three decisions a serving stack must keep
+// open, each behind its own abstraction:
 //
-//  1. Admission — drain the bounded submit channel into a FIFO pending
-//     queue and admit requests, in order, while their conservative
-//     prompt+output KV reservation fits and the batch cap allows. The
-//     head of line is never skipped, so admission is starvation-free.
-//  2. Prefill — newly admitted prompts run as one token-packed
-//     (padding-free, varlen-style) prefill batch, emitting each
-//     request's first token. Packed pricing is what distinguishes the
-//     live loop from the offline static-batch Serve baseline, which
-//     pads every prompt in a prefill batch to the longest one.
-//  3. Decode — one iteration across the whole running batch; finished
-//     sequences release their KV blocks immediately, making room for
-//     the next admissions.
+//   - Server — the engine loop. One scheduler goroutine owns an
+//     engine.Stepper (the iteration-level continuous-batching state
+//     machine over the paged KV-cache plan) and loops over admission →
+//     prefill → decode, exactly as a vLLM-class engine loop does.
+//   - Policy — who runs next. Admission ordering is delegated to a
+//     pluggable Policy: FIFOPolicy (the default, head-of-line order),
+//     PriorityPolicy (interactive before batch, starvation-free via
+//     aging), and SLOPolicy (earliest-TTFT-deadline-first, with
+//     preempt-and-requeue when an urgent request cannot fit). The
+//     Stepper's conservative prompt+output reservation is the
+//     preemption hook: evicting a victim returns every block it held,
+//     so the urgent admission can never fail mid-flight.
+//   - Backend / Router — where they run. Backend (Start/Submit/Stats/
+//     Stop) is the surface the HTTP layer binds to; *Server implements
+//     it for one engine, and Router implements it over N replica
+//     backends with capacity-aware least-loaded dispatch (queue depth
+//     and free KV blocks from each replica's Stats snapshot) and
+//     failover on a full or stopped replica.
+//
+// Each loop iteration: (1) drain the bounded submit channel into the
+// pending queue and admit requests, Policy-ordered, while their
+// conservative prompt+output KV reservation fits and the batch cap
+// allows; (2) prefill newly admitted prompts as one token-packed
+// (padding-free, varlen-style) batch, emitting each request's first
+// token; (3) run one decode iteration across the running batch,
+// releasing finished sequences' KV blocks immediately to fund the next
+// admissions.
 //
 // Time inside the loop is virtual (the engine cost model's step
 // durations); arrival, queueing and completion are real goroutine and
@@ -31,20 +45,17 @@
 // Submit never blocks: when the admission queue is full it fails fast
 // with ErrQueueFull, which the HTTP layer maps to 429 Too Many
 // Requests. Each accepted request gets a Ticket carrying a streaming
-// event channel (admitted → first_token → finished) and a final Result
-// with TTFT, TPOT, queue wait and end-to-end latency.
+// event channel (admitted → first_token → finished, with preempted
+// interleaved when a policy evicts it) and a final Result with TTFT,
+// TPOT, queue wait and end-to-end latency.
 package serve
 
 import (
-	"context"
 	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
+	"math"
 	"time"
 
 	"zipserv/internal/engine"
-	"zipserv/internal/kvcache"
 )
 
 // Submission errors.
@@ -55,7 +66,7 @@ var (
 	// ErrStopped means the server is shut down or shutting down.
 	ErrStopped = errors.New("serve: server stopped")
 	// ErrNeverFits means the request's KV reservation exceeds the
-	// device plan and could never be admitted.
+	// device plan and could never be admitted (HTTP 422).
 	ErrNeverFits = errors.New("serve: request can never fit in KV memory")
 )
 
@@ -63,6 +74,16 @@ var (
 // virtual clock (the live path). Non-negative arrivals are explicit
 // virtual timestamps, used to replay recorded traces.
 const ArrivalNow = -1
+
+// Class is a request priority class, consumed by PriorityPolicy.
+type Class string
+
+// The two request classes of a production serving tier: latency-bound
+// interactive traffic and throughput-bound batch traffic.
+const (
+	ClassInteractive Class = "interactive"
+	ClassBatch       Class = "batch"
+)
 
 // Request is one live generation request.
 type Request struct {
@@ -72,6 +93,14 @@ type Request struct {
 	// (any negative value) for live requests; trace replays set the
 	// trace's arrival timestamps so queueing delays are reproduced.
 	Arrival float64
+	// Class is the request's priority class. Empty defaults to
+	// ClassInteractive. Ignored by FIFOPolicy.
+	Class Class
+	// TTFTDeadline is the first-token SLO in seconds after arrival,
+	// consumed by SLOPolicy (earliest deadline first). Zero means no
+	// deadline: the request yields to every deadline-carrying one and
+	// is never admitted by preempting a victim.
+	TTFTDeadline float64
 }
 
 // Config describes a live server.
@@ -84,6 +113,9 @@ type Config struct {
 	// MaxBatch caps concurrently scheduled sequences (0 = KV capacity
 	// is the only limit).
 	MaxBatch int
+	// Policy orders admission (and selects preemption victims). Nil
+	// defaults to FIFOPolicy, PR 1's exact behaviour.
+	Policy Policy
 	// PaddedPrefill disables token-packed prefill and prices prefill
 	// batches padded to the longest prompt, reproducing the offline
 	// static-batch baseline. For benchmarks.
@@ -93,10 +125,14 @@ type Config struct {
 // EventType tags a streaming event.
 type EventType string
 
-// Streaming event types, in per-request emission order.
+// Streaming event types. Per request the order is admitted →
+// first_token → finished, with preempted (followed by a fresh
+// admitted/first_token pair) interleaved when a policy evicts the
+// sequence to make room for a more urgent one.
 const (
 	EventAdmitted   EventType = "admitted"
 	EventFirstToken EventType = "first_token"
+	EventPreempted  EventType = "preempted"
 	EventFinished   EventType = "finished"
 )
 
@@ -110,11 +146,14 @@ type Event struct {
 
 // Result is the final per-request record.
 type Result struct {
-	ID        int `json:"id"`
-	PromptLen int `json:"prompt_len"`
-	OutputLen int `json:"output_len"`
+	ID        int   `json:"id"`
+	PromptLen int   `json:"prompt_len"`
+	OutputLen int   `json:"output_len"`
+	Class     Class `json:"class,omitempty"`
+	Preempted int   `json:"preempted,omitempty"` // times evicted and requeued
 
-	// Virtual timestamps (seconds on the scheduler clock).
+	// Virtual timestamps (seconds on the scheduler clock). Admitted is
+	// the last admission when the request was preempted in between.
 	Arrival    float64 `json:"arrival_seconds"`
 	Admitted   float64 `json:"admitted_seconds"`
 	FirstToken float64 `json:"first_token_seconds"`
@@ -131,15 +170,34 @@ type Result struct {
 	Err error `json:"-"`
 }
 
-// Stats is an aggregate snapshot of the server.
+// Stats is an aggregate snapshot of one backend. For a Router it spans
+// all replicas (counters summed, SimSeconds the slowest replica's
+// clock, rate and latency aggregates recomputed fleet-wide).
 type Stats struct {
 	Submitted int64 `json:"submitted"`
 	Rejected  int64 `json:"rejected"` // queue-full fast failures
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	Preempted int64 `json:"preempted"` // policy evictions (requeued, not failed)
 
 	Queued int `json:"queued"` // waiting for admission
 	Active int `json:"active"` // holding KV capacity
+
+	// KV headroom, the router's capacity-aware dispatch signal.
+	FreeKVBlocks  int `json:"free_kv_blocks"`
+	TotalKVBlocks int `json:"total_kv_blocks"`
+
+	Policy string `json:"policy,omitempty"`
+
+	// WallSeconds is real elapsed time since the scheduler started (0
+	// before Start) — the denominator for wall-clock rates, which the
+	// virtual-time Goodput is not.
+	WallSeconds float64 `json:"wall_seconds"`
+	// RecentDrainRPS is the wall-clock completion rate over the last
+	// ~30s — the current queue drain rate behind the HTTP layer's
+	// Retry-After estimate (a lifetime average would never recover
+	// from a long idle stretch). For a Router it sums the replicas.
+	RecentDrainRPS float64 `json:"recent_drain_rps"`
 
 	SimSeconds      float64 `json:"sim_seconds"`
 	OutputTokens    int64   `json:"output_tokens"`
@@ -163,19 +221,32 @@ type Ticket struct {
 }
 
 // Events streams progress notifications (admitted, first_token,
-// finished). The channel is closed after the final event. Events are
-// best-effort: a slow consumer may miss intermediate ones, never the
-// Result.
+// preempted, finished). The channel is closed after the final event.
+// Events are best-effort: a slow consumer may miss intermediate ones,
+// never the Result.
 func (t *Ticket) Events() <-chan Event { return t.events }
 
 // Result delivers the final per-request record exactly once.
 func (t *Ticket) Result() <-chan Result { return t.result }
 
 type call struct {
-	req       engine.Request
-	submitted time.Time
-	events    chan Event
-	result    chan Result
+	req        engine.Request
+	class      Class
+	ttftSLO    float64 // relative first-token deadline; 0 = none
+	preempts   int
+	admittedAt float64 // virtual time of the last admission
+	submitted  time.Time
+	events     chan Event
+	result     chan Result
+}
+
+// deadline is the absolute virtual first-token deadline (+Inf without
+// an SLO). Valid once the arrival has been stamped.
+func (c *call) deadline() float64 {
+	if c.ttftSLO <= 0 {
+		return math.Inf(1)
+	}
+	return c.req.ArrivalSeconds + c.ttftSLO
 }
 
 // emit sends a streaming event without ever blocking the scheduler.
@@ -191,323 +262,9 @@ func (c *call) emit(ev Event) {
 // the event stream.
 func (c *call) finish(res Result) {
 	res.ID = c.req.ID
+	res.Class = c.class
+	res.Preempted = c.preempts
 	res.WallDuration = time.Since(c.submitted)
 	c.result <- res
 	close(c.events)
-}
-
-// Server is the live continuous-batching scheduler.
-type Server struct {
-	cfg      Config
-	submitCh chan *call
-	stop     chan struct{}
-	done     chan struct{}
-
-	gate    sync.RWMutex // serialises Submit sends against Stop
-	stopped bool
-
-	nextID    atomic.Int64
-	submitted atomic.Int64
-	rejected  atomic.Int64
-
-	statsMu sync.Mutex
-	stats   Stats
-
-	startOnce sync.Once
-}
-
-// New builds a live server over the engine. Call Start to launch the
-// scheduler goroutine.
-func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("serve: config needs an engine")
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 64
-	}
-	return &Server{
-		cfg:      cfg,
-		submitCh: make(chan *call, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-	}, nil
-}
-
-// Start launches the scheduler goroutine. Safe to call once.
-func (s *Server) Start() {
-	s.startOnce.Do(func() { go s.loop() })
-}
-
-// Stop shuts the server down gracefully: new submissions are rejected
-// with ErrStopped immediately, while everything already queued or in
-// flight is served to completion. It returns when the scheduler has
-// drained or ctx expires.
-func (s *Server) Stop(ctx context.Context) error {
-	s.gate.Lock()
-	if !s.stopped {
-		s.stopped = true
-		close(s.stop)
-	}
-	s.gate.Unlock()
-	select {
-	case <-s.done:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// Submit offers a request to the admission queue without blocking: it
-// fails fast with ErrQueueFull when the queue is at capacity,
-// ErrStopped after Stop, or ErrNeverFits when the request exceeds the
-// device's total KV plan.
-func (s *Server) Submit(req Request) (*Ticket, error) {
-	if req.PromptLen <= 0 || req.OutputLen <= 0 {
-		return nil, fmt.Errorf("serve: prompt/output lengths must be positive, got %d/%d",
-			req.PromptLen, req.OutputLen)
-	}
-	if !s.cfg.Engine.FitsKV(req.PromptLen, req.OutputLen) {
-		return nil, fmt.Errorf("%w: needs %d KV blocks, plan has %d", ErrNeverFits,
-			kvcache.BlocksFor(req.PromptLen+req.OutputLen, kvcache.DefaultBlockTokens),
-			s.cfg.Engine.Plan().Blocks)
-	}
-	arrival := req.Arrival
-	if arrival < 0 {
-		arrival = ArrivalNow // normalised; assigned the live clock at drain
-	}
-	c := &call{
-		req: engine.Request{
-			ID:             int(s.nextID.Add(1)),
-			ArrivalSeconds: arrival,
-			PromptLen:      req.PromptLen,
-			OutputLen:      req.OutputLen,
-		},
-		submitted: time.Now(),
-		events:    make(chan Event, 4),
-		result:    make(chan Result, 1),
-	}
-
-	s.gate.RLock()
-	defer s.gate.RUnlock()
-	if s.stopped {
-		return nil, ErrStopped
-	}
-	select {
-	case s.submitCh <- c:
-		s.submitted.Add(1)
-		return &Ticket{ID: c.req.ID, events: c.events, result: c.result}, nil
-	default:
-		s.rejected.Add(1)
-		return nil, ErrQueueFull
-	}
-}
-
-// Stats returns an aggregate snapshot. Safe for concurrent use.
-func (s *Server) Stats() Stats {
-	s.statsMu.Lock()
-	st := s.stats
-	s.statsMu.Unlock()
-	st.Submitted = s.submitted.Load()
-	st.Rejected = s.rejected.Load()
-	// The published snapshot counts only the loop's pending list;
-	// requests still buffered in the submit channel are queued too.
-	st.Queued += len(s.submitCh)
-	if st.SimSeconds > 0 {
-		st.Goodput = float64(st.Completed) / st.SimSeconds
-		st.Throughput = float64(st.OutputTokens) / st.SimSeconds
-	}
-	return st
-}
-
-// loop is the scheduler goroutine: admission → prefill → decode, one
-// iteration at a time, until stopped and drained.
-func (s *Server) loop() {
-	defer close(s.done)
-
-	sp, err := engine.NewStepper(s.cfg.Engine)
-	if err != nil {
-		s.failAll(nil, nil, err)
-		return
-	}
-	sp.PackedPrefill = !s.cfg.PaddedPrefill
-
-	var (
-		pending  []*call
-		inflight = make(map[int]*call)
-		agg      aggregate
-	)
-	for {
-		pending = s.drain(sp, pending)
-
-		if sp.InFlight() == 0 && len(pending) == 0 {
-			// Fully idle: block for the next submission or shutdown.
-			select {
-			case c := <-s.submitCh:
-				pending = s.arrive(sp, pending, c)
-				continue
-			case <-s.stop:
-				// Anything that raced past the gate before Stop is
-				// buffered; serve it before exiting.
-				if pending = s.drain(sp, pending); len(pending) > 0 {
-					continue
-				}
-				return
-			}
-		}
-
-		// Admission: FIFO, head-of-line blocking, conservative KV
-		// reservation, optional batch cap.
-		for len(pending) > 0 {
-			c := pending[0]
-			if s.cfg.MaxBatch > 0 && sp.InFlight() >= s.cfg.MaxBatch {
-				break
-			}
-			if c.req.ArrivalSeconds > sp.Clock() {
-				if sp.InFlight() > 0 {
-					break // future arrival; keep decoding until then
-				}
-				sp.AdvanceTo(c.req.ArrivalSeconds)
-			}
-			if !sp.CanAdmit(c.req.PromptLen, c.req.OutputLen) {
-				if sp.InFlight() > 0 {
-					break // capacity frees up as sequences finish
-				}
-				// Defensive guard against a spin: unreachable while
-				// Submit's whole-plan check mirrors CanAdmit at an
-				// empty system, but admission must always make
-				// progress even if those drift apart.
-				agg.failed++
-				c.finish(Result{Err: fmt.Errorf("%w: %d+%d tokens vs %d-block plan",
-					ErrNeverFits, c.req.PromptLen, c.req.OutputLen, s.cfg.Engine.Plan().Blocks)})
-				pending = pending[1:]
-				continue
-			}
-			if err := sp.Admit(c.req); err != nil {
-				agg.failed++
-				c.finish(Result{Err: err})
-				pending = pending[1:]
-				continue
-			}
-			inflight[c.req.ID] = c
-			c.emit(Event{Type: EventAdmitted, SimSeconds: sp.Clock()})
-			pending = pending[1:]
-		}
-
-		// Prefill newcomers (packed), then one decode iteration.
-		prefilled, _ := sp.Prefill()
-		for _, m := range prefilled {
-			if c := inflight[m.ID]; c != nil {
-				c.emit(Event{Type: EventFirstToken, SimSeconds: m.FirstToken, TTFT: m.TTFT})
-			}
-		}
-		finished, _, err := sp.DecodeStep()
-		if err != nil {
-			// Scheduler invariant broken (unreachable under the
-			// conservative reservation): fail everything and halt.
-			s.failAll(pending, inflight, err)
-			return
-		}
-		for _, m := range finished {
-			agg.complete(m)
-		}
-		// Publish before delivering results: a caller that has seen a
-		// request's Result must observe stats that include it.
-		s.publish(sp, len(pending), len(inflight)-len(finished), &agg)
-		for _, m := range finished {
-			c := inflight[m.ID]
-			delete(inflight, m.ID)
-			c.emit(Event{Type: EventFinished, SimSeconds: m.Finished})
-			c.finish(Result{
-				PromptLen: c.req.PromptLen, OutputLen: c.req.OutputLen,
-				Arrival: m.Arrival, Admitted: m.Admitted,
-				FirstToken: m.FirstToken, Finished: m.Finished,
-				TTFT: m.TTFT, TPOT: m.TPOT,
-				QueueWait: m.Admitted - m.Arrival, Latency: m.Latency,
-			})
-		}
-	}
-}
-
-// drain empties the submit channel without blocking.
-func (s *Server) drain(sp *engine.Stepper, pending []*call) []*call {
-	for {
-		select {
-		case c := <-s.submitCh:
-			pending = s.arrive(sp, pending, c)
-		default:
-			return pending
-		}
-	}
-}
-
-// arrive stamps live submissions with the current virtual clock and
-// appends to the FIFO pending queue.
-func (s *Server) arrive(sp *engine.Stepper, pending []*call, c *call) []*call {
-	if c.req.ArrivalSeconds < 0 {
-		c.req.ArrivalSeconds = sp.Clock()
-	}
-	return append(pending, c)
-}
-
-// aggregate accumulates completion statistics inside the loop.
-type aggregate struct {
-	completed    int64
-	failed       int64
-	ttftSum      float64
-	tpotSum      float64
-	queueWaitSum float64
-}
-
-func (a *aggregate) complete(m engine.RequestMetrics) {
-	a.completed++
-	a.ttftSum += m.TTFT
-	a.tpotSum += m.TPOT
-	a.queueWaitSum += m.Admitted - m.Arrival
-}
-
-// publish copies a stats snapshot for concurrent readers.
-func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate) {
-	st := Stats{
-		Completed: agg.completed,
-		Failed:    agg.failed,
-		Queued:    queued,
-		Active:    active,
-
-		SimSeconds:      sp.Clock(),
-		OutputTokens:    sp.OutputTokens(),
-		DecodeSteps:     sp.DecodeSteps(),
-		PeakConcurrency: sp.PeakConcurrency(),
-	}
-	if agg.completed > 0 {
-		st.MeanTTFT = agg.ttftSum / float64(agg.completed)
-		st.MeanTPOT = agg.tpotSum / float64(agg.completed)
-		st.MeanQueueWait = agg.queueWaitSum / float64(agg.completed)
-	}
-	s.statsMu.Lock()
-	s.stats = st
-	s.statsMu.Unlock()
-}
-
-// failAll terminates every queued and in-flight request with err.
-func (s *Server) failAll(pending []*call, inflight map[int]*call, err error) {
-	s.gate.Lock()
-	if !s.stopped {
-		s.stopped = true
-		close(s.stop)
-	}
-	s.gate.Unlock()
-	for {
-		select {
-		case c := <-s.submitCh:
-			pending = append(pending, c)
-		default:
-			for _, c := range pending {
-				c.finish(Result{Err: err})
-			}
-			for _, c := range inflight {
-				c.finish(Result{Err: err})
-			}
-			return
-		}
-	}
 }

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zipserv/internal/engine"
+	"zipserv/internal/kvcache"
+)
+
+// Server is the live continuous-batching scheduler for one engine
+// replica. It implements Backend.
+type Server struct {
+	cfg      Config
+	submitCh chan *call
+	stop     chan struct{}
+	done     chan struct{}
+
+	gate    sync.RWMutex // serialises Submit sends against Stop
+	stopped bool
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	startedAt atomic.Int64 // unix nanos; 0 until Start
+
+	statsMu sync.Mutex
+	stats   Stats
+	recent  []time.Time // wall completion times within drainWindow
+
+	startOnce sync.Once
+}
+
+// The recent-completion window sizing the RecentDrainRPS estimate.
+const (
+	drainWindow = 30 * time.Second
+	maxRecent   = 256
+)
+
+var _ Backend = (*Server)(nil)
+
+// New builds a live server over the engine. Call Start to launch the
+// scheduler goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: config needs an engine")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FIFOPolicy{}
+	}
+	blocks := cfg.Engine.Plan().Blocks
+	return &Server{
+		cfg:      cfg,
+		submitCh: make(chan *call, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		// Seed the snapshot so a router's capacity-aware dispatch sees
+		// real headroom before the loop's first publish.
+		stats: Stats{
+			FreeKVBlocks:  blocks,
+			TotalKVBlocks: blocks,
+			Policy:        cfg.Policy.Name(),
+		},
+	}, nil
+}
+
+// Start launches the scheduler goroutine. Safe to call once.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.startedAt.Store(time.Now().UnixNano())
+		go s.loop()
+	})
+}
+
+// Stop shuts the server down gracefully: new submissions are rejected
+// with ErrStopped immediately, while everything already queued or in
+// flight is served to completion. It returns when the scheduler has
+// drained or ctx expires.
+func (s *Server) Stop(ctx context.Context) error {
+	s.gate.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.gate.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit offers a request to the admission queue without blocking: it
+// fails fast with ErrQueueFull when the queue is at capacity,
+// ErrStopped after Stop, or ErrNeverFits when the request exceeds the
+// device's total KV plan.
+func (s *Server) Submit(req Request) (*Ticket, error) {
+	if req.PromptLen <= 0 || req.OutputLen <= 0 {
+		return nil, fmt.Errorf("serve: prompt/output lengths must be positive, got %d/%d",
+			req.PromptLen, req.OutputLen)
+	}
+	if !s.cfg.Engine.FitsKV(req.PromptLen, req.OutputLen) {
+		return nil, fmt.Errorf("%w: needs %d KV blocks, plan has %d", ErrNeverFits,
+			kvcache.BlocksFor(req.PromptLen+req.OutputLen, kvcache.DefaultBlockTokens),
+			s.cfg.Engine.Plan().Blocks)
+	}
+	arrival := req.Arrival
+	if arrival < 0 {
+		arrival = ArrivalNow // normalised; assigned the live clock at drain
+	}
+	class := req.Class
+	switch class {
+	case "":
+		class = ClassInteractive
+	case ClassInteractive, ClassBatch:
+	default:
+		// Reject rather than default: an unknown class would silently
+		// schedule as top-priority interactive.
+		return nil, fmt.Errorf("serve: unknown request class %q", class)
+	}
+	c := &call{
+		req: engine.Request{
+			ID:             int(s.nextID.Add(1)),
+			ArrivalSeconds: arrival,
+			PromptLen:      req.PromptLen,
+			OutputLen:      req.OutputLen,
+		},
+		class:     class,
+		ttftSLO:   req.TTFTDeadline,
+		submitted: time.Now(),
+		events:    make(chan Event, 8),
+		result:    make(chan Result, 1),
+	}
+
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.stopped {
+		return nil, ErrStopped
+	}
+	select {
+	case s.submitCh <- c:
+		s.submitted.Add(1)
+		return &Ticket{ID: c.req.ID, events: c.events, result: c.result}, nil
+	default:
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Stats returns an aggregate snapshot. Safe for concurrent use.
+func (s *Server) Stats() Stats {
+	now := time.Now()
+	s.statsMu.Lock()
+	st := s.stats
+	s.pruneRecentLocked(now)
+	if n := len(s.recent); n > 0 {
+		span := now.Sub(s.recent[0]).Seconds()
+		if span < 1 {
+			span = 1 // sub-second bursts: rate over a 1s floor
+		}
+		st.RecentDrainRPS = float64(n) / span
+	}
+	s.statsMu.Unlock()
+	st.Submitted = s.submitted.Load()
+	st.Rejected = s.rejected.Load()
+	// The published snapshot counts only the loop's pending list;
+	// requests still buffered in the submit channel are queued too.
+	st.Queued += len(s.submitCh)
+	if started := s.startedAt.Load(); started != 0 {
+		st.WallSeconds = time.Since(time.Unix(0, started)).Seconds()
+	}
+	if st.SimSeconds > 0 {
+		st.Goodput = float64(st.Completed) / st.SimSeconds
+		st.Throughput = float64(st.OutputTokens) / st.SimSeconds
+	}
+	return st
+}
+
+// loop is the scheduler goroutine: admission → prefill → decode, one
+// iteration at a time, until stopped and drained.
+func (s *Server) loop() {
+	defer close(s.done)
+
+	sp, err := engine.NewStepper(s.cfg.Engine)
+	if err != nil {
+		s.failAll(nil, nil, err)
+		return
+	}
+	sp.PackedPrefill = !s.cfg.PaddedPrefill
+
+	var (
+		pending  []*call
+		inflight = make(map[int]*call)
+		agg      aggregate
+	)
+	for {
+		pending = s.drain(sp, pending)
+
+		if sp.InFlight() == 0 && len(pending) == 0 {
+			// Fully idle: block for the next submission or shutdown.
+			select {
+			case c := <-s.submitCh:
+				pending = s.arrive(sp, pending, c)
+				continue
+			case <-s.stop:
+				// Anything that raced past the gate before Stop is
+				// buffered; serve it before exiting.
+				if pending = s.drain(sp, pending); len(pending) > 0 {
+					continue
+				}
+				return
+			}
+		}
+
+		pending = s.admit(sp, pending, inflight, &agg)
+
+		// Prefill newcomers (packed), then one decode iteration.
+		prefilled, _ := sp.Prefill()
+		for _, m := range prefilled {
+			if c := inflight[m.ID]; c != nil {
+				c.emit(Event{Type: EventFirstToken, SimSeconds: m.FirstToken, TTFT: m.TTFT})
+			}
+		}
+		finished, _, err := sp.DecodeStep()
+		if err != nil {
+			// Scheduler invariant broken (unreachable under the
+			// conservative reservation): fail everything and halt.
+			s.failAll(pending, inflight, err)
+			return
+		}
+		for _, m := range finished {
+			agg.complete(m)
+		}
+		if len(finished) > 0 {
+			s.noteCompletions(len(finished))
+		}
+		// Publish before delivering results: a caller that has seen a
+		// request's Result must observe stats that include it.
+		s.publish(sp, len(pending), len(inflight)-len(finished), &agg)
+		for _, m := range finished {
+			c := inflight[m.ID]
+			delete(inflight, m.ID)
+			c.emit(Event{Type: EventFinished, SimSeconds: m.Finished})
+			c.finish(Result{
+				PromptLen: c.req.PromptLen, OutputLen: c.req.OutputLen,
+				Arrival: m.Arrival, Admitted: m.Admitted,
+				FirstToken: m.FirstToken, Finished: m.Finished,
+				TTFT: m.TTFT, TPOT: m.TPOT,
+				QueueWait: m.Admitted - m.Arrival, Latency: m.Latency,
+			})
+		}
+	}
+}
+
+// admit fills the batch from the pending queue in Policy order:
+// eligible requests (arrived on the virtual clock) are offered to the
+// policy one admission slot at a time, each admitted while its
+// conservative KV reservation fits — with the policy's preemption hook
+// invoked when it does not — and the batch cap allows.
+func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*call, agg *aggregate) []*call {
+	for len(pending) > 0 {
+		if s.cfg.MaxBatch > 0 && sp.InFlight() >= s.cfg.MaxBatch {
+			break
+		}
+		// Split pending into eligible (arrived) and future requests.
+		var (
+			eligible []Pending
+			idxs     []int
+			nextArr  = math.Inf(1)
+		)
+		for i, c := range pending {
+			if c.req.ArrivalSeconds <= sp.Clock() {
+				eligible = append(eligible, s.pendingView(c))
+				idxs = append(idxs, i)
+			} else if c.req.ArrivalSeconds < nextArr {
+				nextArr = c.req.ArrivalSeconds
+			}
+		}
+		if len(eligible) == 0 {
+			if sp.InFlight() > 0 {
+				break // future arrivals; keep decoding until then
+			}
+			sp.AdvanceTo(nextArr) // idle fast-forward to the next arrival
+			continue
+		}
+
+		pick := s.cfg.Policy.Next(sp.Clock(), eligible)
+		if pick < 0 || pick >= len(eligible) {
+			if sp.InFlight() > 0 {
+				break // the policy defers to the running batch
+			}
+			pick = 0 // liveness guard: an idle system must admit
+		}
+		c := pending[idxs[pick]]
+		if !sp.CanAdmit(c.req.PromptLen, c.req.OutputLen) {
+			pending = s.makeRoom(sp, pending, c, inflight, agg)
+			if !sp.CanAdmit(c.req.PromptLen, c.req.OutputLen) {
+				if sp.InFlight() > 0 {
+					break // capacity frees up as sequences finish
+				}
+				// Defensive guard against a spin: unreachable while
+				// Submit's whole-plan check mirrors CanAdmit at an
+				// empty system, but admission must always make
+				// progress even if those drift apart.
+				agg.failed++
+				c.finish(Result{Err: fmt.Errorf("%w: %d+%d tokens vs %d-block plan",
+					ErrNeverFits, c.req.PromptLen, c.req.OutputLen, s.cfg.Engine.Plan().Blocks)})
+				pending = append(pending[:idxs[pick]], pending[idxs[pick]+1:]...)
+				continue
+			}
+		}
+		if err := sp.Admit(c.req); err != nil {
+			agg.failed++
+			c.finish(Result{Err: err})
+			pending = append(pending[:idxs[pick]], pending[idxs[pick]+1:]...)
+			continue
+		}
+		c.admittedAt = sp.Clock()
+		inflight[c.req.ID] = c
+		c.emit(Event{Type: EventAdmitted, SimSeconds: sp.Clock()})
+		pending = append(pending[:idxs[pick]], pending[idxs[pick]+1:]...)
+	}
+	return pending
+}
+
+// makeRoom asks the policy for preemption victims until blocked fits
+// or the policy declines. Each victim's sequence is evicted from the
+// stepper (returning every KV block it held), removed from the running
+// set and requeued at the back of the pending queue with its original
+// arrival, to be re-admitted — and fully recomputed — later.
+func (s *Server) makeRoom(sp *engine.Stepper, pending []*call, blocked *call, inflight map[int]*call, agg *aggregate) []*call {
+	for !sp.CanAdmit(blocked.req.PromptLen, blocked.req.OutputLen) {
+		running := runningViews(inflight)
+		if len(running) == 0 {
+			return pending
+		}
+		v := s.cfg.Policy.Victim(sp.Clock(), s.pendingView(blocked), running)
+		if v < 0 || v >= len(running) {
+			return pending
+		}
+		req, ok := sp.Preempt(running[v].ID)
+		if !ok {
+			return pending // stale view; unreachable from the loop
+		}
+		vc := inflight[req.ID]
+		delete(inflight, req.ID)
+		vc.preempts++
+		agg.preempted++
+		vc.emit(Event{Type: EventPreempted, SimSeconds: sp.Clock()})
+		pending = append(pending, vc)
+	}
+	return pending
+}
+
+// pendingView projects a queued call for the policy.
+func (s *Server) pendingView(c *call) Pending {
+	return Pending{
+		ID:        c.req.ID,
+		PromptLen: c.req.PromptLen,
+		OutputLen: c.req.OutputLen,
+		Arrival:   c.req.ArrivalSeconds,
+		Class:     c.class,
+		Deadline:  c.deadline(),
+	}
+}
+
+// runningViews projects the in-flight set for victim selection, sorted
+// by submission ID so indices are deterministic across map iterations.
+func runningViews(inflight map[int]*call) []Running {
+	out := make([]Running, 0, len(inflight))
+	for _, c := range inflight {
+		out = append(out, Running{
+			ID:        c.req.ID,
+			PromptLen: c.req.PromptLen,
+			OutputLen: c.req.OutputLen,
+			Arrival:   c.req.ArrivalSeconds,
+			Admitted:  c.admittedAt,
+			Class:     c.class,
+			Deadline:  c.deadline(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// drain empties the submit channel without blocking.
+func (s *Server) drain(sp *engine.Stepper, pending []*call) []*call {
+	for {
+		select {
+		case c := <-s.submitCh:
+			pending = s.arrive(sp, pending, c)
+		default:
+			return pending
+		}
+	}
+}
+
+// arrive stamps live submissions with the current virtual clock and
+// appends to the pending queue (submission order).
+func (s *Server) arrive(sp *engine.Stepper, pending []*call, c *call) []*call {
+	if c.req.ArrivalSeconds < 0 {
+		c.req.ArrivalSeconds = sp.Clock()
+	}
+	return append(pending, c)
+}
+
+// aggregate accumulates completion statistics inside the loop.
+type aggregate struct {
+	completed    int64
+	failed       int64
+	preempted    int64
+	ttftSum      float64
+	tpotSum      float64
+	queueWaitSum float64
+}
+
+func (a *aggregate) complete(m engine.RequestMetrics) {
+	a.completed++
+	a.ttftSum += m.TTFT
+	a.tpotSum += m.TPOT
+	a.queueWaitSum += m.Admitted - m.Arrival
+}
+
+// publish copies a stats snapshot for concurrent readers.
+func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate) {
+	st := Stats{
+		Completed: agg.completed,
+		Failed:    agg.failed,
+		Preempted: agg.preempted,
+		Queued:    queued,
+		Active:    active,
+
+		FreeKVBlocks:  sp.FreeBlocks(),
+		TotalKVBlocks: s.cfg.Engine.Plan().Blocks,
+		Policy:        s.cfg.Policy.Name(),
+
+		SimSeconds:      sp.Clock(),
+		OutputTokens:    sp.OutputTokens(),
+		DecodeSteps:     sp.DecodeSteps(),
+		PeakConcurrency: sp.PeakConcurrency(),
+	}
+	if agg.completed > 0 {
+		st.MeanTTFT = agg.ttftSum / float64(agg.completed)
+		st.MeanTPOT = agg.tpotSum / float64(agg.completed)
+		st.MeanQueueWait = agg.queueWaitSum / float64(agg.completed)
+	}
+	s.statsMu.Lock()
+	s.stats = st
+	s.statsMu.Unlock()
+}
+
+// noteCompletions stamps n wall-clock completions into the recent
+// window behind the RecentDrainRPS estimate.
+func (s *Server) noteCompletions(n int) {
+	now := time.Now()
+	s.statsMu.Lock()
+	for i := 0; i < n; i++ {
+		s.recent = append(s.recent, now)
+	}
+	s.pruneRecentLocked(now)
+	s.statsMu.Unlock()
+}
+
+// pruneRecentLocked drops completion stamps outside drainWindow and
+// bounds the window length. Callers hold statsMu.
+func (s *Server) pruneRecentLocked(now time.Time) {
+	cutoff := now.Add(-drainWindow)
+	i := 0
+	for i < len(s.recent) && s.recent[i].Before(cutoff) {
+		i++
+	}
+	if over := len(s.recent) - i - maxRecent; over > 0 {
+		i += over
+	}
+	if i > 0 {
+		s.recent = append(s.recent[:0], s.recent[i:]...)
+	}
+}
+
+// failAll terminates every queued and in-flight request with err.
+func (s *Server) failAll(pending []*call, inflight map[int]*call, err error) {
+	s.gate.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.gate.Unlock()
+	for {
+		select {
+		case c := <-s.submitCh:
+			pending = append(pending, c)
+		default:
+			for _, c := range pending {
+				c.finish(Result{Err: err})
+			}
+			for _, c := range inflight {
+				c.finish(Result{Err: err})
+			}
+			return
+		}
+	}
+}

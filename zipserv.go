@@ -20,12 +20,21 @@
 //     token-packed prefill, per-request streaming metrics (TTFT, TPOT,
 //     queue wait) and aggregate goodput, exposed over HTTP by
 //     cmd/zipserv-server as POST /v1/generate (429 on queue overflow,
-//     NDJSON streaming) and GET /v1/stats.
+//     NDJSON streaming) and GET /v1/stats;
+//   - pluggable scheduling and sharded routing on top of it: admission
+//     order is a LivePolicy ("fifo" by default, "priority" for
+//     starvation-free interactive-before-batch classes, "slo" for
+//     earliest-TTFT-deadline-first with preempt-and-requeue), and the
+//     HTTP layer binds to a LiveBackend — either one server or a
+//     LiveRouter sharding requests across N replicas by queue depth
+//     and free KV blocks, with failover when a replica is full or
+//     stopped.
 //
-// The live scheduler runs one engine loop goroutine that, each
-// iteration, admits queued requests FIFO against the paged KV-cache
-// plan (conservative prompt+output reservation, so no sequence fails
-// mid-flight), prefills newcomers as one padding-free packed batch,
+// The live scheduler runs one engine loop goroutine per replica that,
+// each iteration, admits queued requests in policy order against the
+// paged KV-cache plan (conservative prompt+output reservation, so no
+// sequence fails mid-flight — and so a preempted victim returns every
+// block it held), prefills newcomers as one padding-free packed batch,
 // runs one decode step over the whole running batch, and evicts
 // finished sequences so their blocks fund the next admissions. The
 // offline Serve trace replay drives the same state machine
@@ -288,12 +297,56 @@ type LiveStats = serve.Stats
 var (
 	ErrLiveQueueFull = serve.ErrQueueFull
 	ErrLiveStopped   = serve.ErrStopped
+	ErrLiveNeverFits = serve.ErrNeverFits
 )
 
 // NewLiveServer builds a live continuous-batching server over an
 // engine. Call Start to launch the scheduler goroutine and Stop for a
 // graceful drain.
 func NewLiveServer(cfg LiveConfig) (*LiveServer, error) { return serve.New(cfg) }
+
+// ---- Scheduling policies and sharded routing ----
+
+// LivePolicy orders admission in the live scheduler and selects
+// preemption victims: who runs next, as a first-class pluggable
+// decision. Built-ins: FIFO (default), priority (interactive before
+// batch, starvation-free via aging) and slo
+// (earliest-TTFT-deadline-first with preempt-and-requeue).
+type LivePolicy = serve.Policy
+
+// LiveClass is a request priority class for the priority policy.
+type LiveClass = serve.Class
+
+// The two request classes: latency-bound interactive traffic and
+// throughput-bound batch traffic.
+const (
+	LiveClassInteractive = serve.ClassInteractive
+	LiveClassBatch       = serve.ClassBatch
+)
+
+// LivePolicyByName returns a built-in policy: "fifo", "priority" or
+// "slo".
+func LivePolicyByName(name string) (LivePolicy, error) { return serve.PolicyByName(name) }
+
+// LivePolicyNames lists the built-in admission policies.
+func LivePolicyNames() []string { return serve.PolicyNames() }
+
+// LiveBackend is the serving surface the HTTP layer binds to — one
+// live server or a sharded router of replicas: where requests run,
+// behind one stable interface.
+type LiveBackend = serve.Backend
+
+// LiveRouter shards live traffic across N replica backends with
+// capacity-aware least-loaded dispatch (queue depth and free KV blocks
+// from each replica's stats snapshot) and failover when a replica is
+// full or stopped.
+type LiveRouter = serve.Router
+
+// NewLiveRouter builds a router over the given replicas (at least
+// one). A router is itself a LiveBackend, so deployments nest.
+func NewLiveRouter(replicas ...LiveBackend) (*LiveRouter, error) {
+	return serve.NewRouter(replicas...)
+}
 
 // ---- Warp-level divergence analysis (§3.2) ----
 
