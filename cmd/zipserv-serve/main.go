@@ -13,12 +13,19 @@
 // scheduling win of class- and deadline-aware admission over FIFO
 // head-of-line blocking.
 //
+// With -compare-chunking it replays one trace that mixes long prompts
+// into a stream of short decoders under each prefill chunk budget
+// (monolithic, 64, 256, 1024 tokens) and reports decode TPOT p50/p99
+// and the worst inter-token stall — the cadence win of chunked
+// prefill. -csv additionally writes the table as CSV.
+//
 // Usage:
 //
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -batch 32 -out 2048
 //	zipserv-serve -model LLaMA3.1-70B -device L40S -gpus 4 -compare
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -live -requests 64 -rate 100
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-policies -requests 64
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-chunking -requests 40 -csv chunking.csv
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"zipserv"
@@ -45,6 +53,9 @@ func main() {
 	live := flag.Bool("live", false, "replay a synthetic trace through the live continuous-batching scheduler")
 	comparePolicies := flag.Bool("compare-policies", false,
 		"replay a mixed interactive/batch trace under each admission policy and compare per-class TTFT")
+	compareChunking := flag.Bool("compare-chunking", false,
+		"replay a long-prompt/decoder mix under each prefill chunk budget and compare decode TPOT p50/p99")
+	csvPath := flag.String("csv", "", "compare-chunking: also write the comparison as CSV to this path")
 	requests := flag.Int("requests", 64, "live mode: number of trace requests")
 	rate := flag.Float64("rate", 100, "live mode: Poisson arrival rate (req/s)")
 	seed := flag.Int64("seed", 7, "live mode: trace seed")
@@ -52,6 +63,8 @@ func main() {
 
 	var err error
 	switch {
+	case *compareChunking:
+		err = runCompareChunking(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed, *csvPath)
 	case *comparePolicies:
 		err = runComparePolicies(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed)
 	case *live:
@@ -259,6 +272,93 @@ func runComparePolicies(modelName, device string, gpus int, backend string, n in
 		fmt.Printf("%-10s %16.3f %16.3f %16.3f %14.2f %10d\n",
 			name, percentile(intTTFT, 0.50), percentile(intTTFT, 0.95),
 			percentile(batTTFT, 0.50), st.Goodput, st.Preempted)
+	}
+	return nil
+}
+
+// runCompareChunking replays one trace — mostly short decoders at the
+// flag lengths, with every fifth request a 16×-long prompt — through
+// the live scheduler under each prefill chunk budget, and prints the
+// decode TPOT percentiles across the short requests plus the worst
+// inter-token stall. Monolithic prefill lets every long prompt wedge a
+// full-prompt stall between decode steps; the chunk budgets bound it.
+func runCompareChunking(modelName, device string, gpus int, backend string, n int, rate float64, prompt, out int, seed int64, csvPath string) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	base := zipserv.SyntheticTrace(n, rate, prompt, out, seed)
+	if base == nil {
+		return fmt.Errorf("invalid trace parameters")
+	}
+	reqs := make([]zipserv.LiveRequest, len(base))
+	for i, r := range base {
+		reqs[i] = zipserv.LiveRequest{PromptLen: prompt, OutputLen: out, Arrival: r.ArrivalSeconds}
+		if i%5 == 4 {
+			reqs[i] = zipserv.LiveRequest{PromptLen: 16 * prompt, OutputLen: 8, Arrival: r.ArrivalSeconds}
+		}
+	}
+
+	fmt.Printf("chunking mix: %d requests, %.0f req/s Poisson, decoders %d/%d with every 5th prompt %d tokens (%s on %dx %s, %s)\n\n",
+		n, rate, prompt, out, 16*prompt, modelName, gpus, device, backend)
+	fmt.Printf("%-12s %16s %16s %18s %14s\n",
+		"chunk", "dec TPOT p50(s)", "dec TPOT p99(s)", "max dec gap(s)", "goodput(r/s)")
+	var csv strings.Builder
+	csv.WriteString("chunk_tokens,decode_tpot_p50_s,decode_tpot_p99_s,max_decode_gap_s,goodput_rps\n")
+	for _, chunk := range []int{0, 64, 256, 1024} {
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+		})
+		if err != nil {
+			return err
+		}
+		srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{
+			Engine: eng, QueueDepth: len(reqs), PrefillChunkTokens: chunk,
+		})
+		if err != nil {
+			return err
+		}
+		tickets := make([]*zipserv.LiveTicket, len(reqs))
+		for i, r := range reqs {
+			if tickets[i], err = srv.Submit(r); err != nil {
+				return err
+			}
+		}
+		srv.Start()
+		var tpots []float64
+		for i, tk := range tickets {
+			res := <-tk.Result()
+			if res.Err != nil {
+				return res.Err
+			}
+			if i%5 != 4 { // the decoders, not the long prompts
+				tpots = append(tpots, res.TPOT)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = srv.Stop(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		st := srv.Stats()
+		label := "none"
+		if chunk > 0 {
+			label = fmt.Sprintf("%d tok", chunk)
+		}
+		p50, p99 := percentile(tpots, 0.50), percentile(tpots, 0.99)
+		fmt.Printf("%-12s %16.4f %16.4f %18.4f %14.2f\n", label, p50, p99, st.MaxDecodeGap, st.Goodput)
+		fmt.Fprintf(&csv, "%d,%.6f,%.6f,%.6f,%.3f\n", chunk, p50, p99, st.MaxDecodeGap, st.Goodput)
+	}
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", csvPath)
 	}
 	return nil
 }

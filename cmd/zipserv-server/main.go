@@ -10,6 +10,7 @@
 //
 //	zipserv-server -addr :8080 -model LLaMA3.1-8B -device RTX4090
 //	zipserv-server -replicas 4 -policy priority
+//	zipserv-server -prefill-chunk 256 -admit-window 5ms -time-scale 1
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
 //	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64}'
@@ -26,6 +27,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
@@ -50,6 +52,12 @@ func main() {
 	policyName := flag.String("policy", "fifo", "admission policy: "+strings.Join(serve.PolicyNames(), ", "))
 	queueDepth := flag.Int("queue", 256, "per-replica admission queue depth (beyond it, /v1/generate returns 429)")
 	maxBatch := flag.Int("max-batch", 0, "per-replica cap on concurrently scheduled sequences (0 = KV capacity only)")
+	prefillChunk := flag.Int("prefill-chunk", 0,
+		"prompt tokens prefilled per scheduler iteration (chunked prefill; 0 = whole prompts)")
+	admitWindow := flag.Duration("admit-window", 0,
+		"micro-batch admission window: hold the first idle-arriving request this long so bursts prefill together (0 = off)")
+	timeScale := flag.Float64("time-scale", 0,
+		"pace the scheduler against the wall clock: sleep sim-seconds x this factor per iteration (0 = run flat out)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -81,6 +89,7 @@ func main() {
 		}
 		srv, err := serve.New(serve.Config{
 			Engine: eng, QueueDepth: *queueDepth, MaxBatch: *maxBatch, Policy: policy,
+			PrefillChunkTokens: *prefillChunk, AdmissionWindow: *admitWindow, TimeScale: *timeScale,
 		})
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
@@ -110,8 +119,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy)",
-		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName)
+	chunkDesc := "whole-prompt prefill"
+	if *prefillChunk > 0 {
+		chunkDesc = fmt.Sprintf("%d-token prefill chunks", *prefillChunk)
+	}
+	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s)",
+		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc)
 
 	select {
 	case err := <-errCh:

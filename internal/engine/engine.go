@@ -272,34 +272,71 @@ func (e *Engine) BatchDecodeStepTime(b, sumCtx int) float64 {
 	return e.stepGEMMTime(b) + e.attentionTimeTotal(sumCtx) + e.otherTime() + e.allReduceTime(b)
 }
 
-// PackedPrefillTime prices a token-packed (varlen, padding-free)
-// prefill over prompts of the given lengths: the GEMMs see the true
-// total token count and the attention kernel the true per-sequence
-// quadratic work, the way a FlashAttention varlen kernel batches
-// ragged prompts. Contrast PrefillTime, which pads every prompt in the
-// batch to the longest one (request-level static batching).
-func (e *Engine) PackedPrefillTime(prompts []int) float64 {
-	if len(prompts) == 0 {
+// PrefillChunk describes the slice of one prompt processed in a single
+// chunked-prefill iteration: Tokens prompt positions starting at offset
+// Start (the tokens prefilled by earlier chunks). Final marks the chunk
+// that completes the prompt, after which the sequence samples its first
+// output token and joins the decode batch.
+type PrefillChunk struct {
+	Start  int
+	Tokens int
+	Final  bool
+}
+
+// ChunkedPrefillTime prices one token-packed prefill iteration over a
+// set of prompt chunks (Sarathi-style chunked prefill). The GEMMs see
+// the true total chunk token count; the attention kernel prices each
+// chunk as its slice of the prompt's quadratic attention under the
+// same full-square convention PackedPrefillTime uses — the difference
+// of squares (Start+Tokens)² − Start², i.e. Tokens·(2·Start+Tokens) —
+// so a prompt's chunks telescope to exactly the monolithic p²
+// attention work and splitting never prices below it (per-iteration
+// overheads make it strictly dearer). The LM head runs only for Final
+// chunks — only completing sequences sample a token. A whole prompt
+// processed as one chunk degenerates to PackedPrefillTime exactly.
+func (e *Engine) ChunkedPrefillTime(chunks []PrefillChunk) float64 {
+	if len(chunks) == 0 {
 		return 0
 	}
-	n := 0
-	for _, p := range prompts {
-		n += p
+	n, finals := 0, 0
+	for _, c := range chunks {
+		n += c.Tokens
+		if c.Final {
+			finals++
+		}
 	}
 	var gemm float64
 	for _, kind := range weights.BlockLayerKinds {
 		gemm += e.gemmTime(kind, n)
 	}
-	gemm = gemm*float64(e.cfg.Model.NumLayers) + e.gemmTime(weights.LMHead, len(prompts))
+	gemm *= float64(e.cfg.Model.NumLayers)
+	if finals > 0 {
+		gemm += e.gemmTime(weights.LMHead, finals)
+	}
 
 	m := e.cfg.Model
 	var attnFLOPs float64
-	for _, p := range prompts {
-		attnFLOPs += 4 * float64(p) * float64(p) * float64(m.HiddenDim) * float64(m.NumLayers)
+	for _, c := range chunks {
+		attnFLOPs += 4 * float64(c.Tokens) * float64(2*c.Start+c.Tokens) * float64(m.HiddenDim) * float64(m.NumLayers)
 	}
 	attn := attnFLOPs / (e.cfg.Device.BF16TFLOPS * 1e12 * prefillAttnEff) / float64(e.cfg.NumGPUs)
 
 	return gemm + attn + e.otherTime() + e.allReduceTime(n)
+}
+
+// PackedPrefillTime prices a token-packed (varlen, padding-free)
+// prefill over prompts of the given lengths: the GEMMs see the true
+// total token count and the attention kernel the true per-sequence
+// quadratic work, the way a FlashAttention varlen kernel batches
+// ragged prompts — the whole-prompt special case of ChunkedPrefillTime.
+// Contrast PrefillTime, which pads every prompt in the batch to the
+// longest one (request-level static batching).
+func (e *Engine) PackedPrefillTime(prompts []int) float64 {
+	chunks := make([]PrefillChunk, len(prompts))
+	for i, p := range prompts {
+		chunks[i] = PrefillChunk{Start: 0, Tokens: p, Final: true}
+	}
+	return e.ChunkedPrefillTime(chunks)
 }
 
 // PrefillTime returns the time to process prompts of length p for b

@@ -112,10 +112,10 @@ func (e *Engine) Serve(reqs []Request) (TraceStats, []RequestMetrics, error) {
 		// Prefill the newcomers as one batch, then run one decode step.
 		sp.Prefill()
 		if sp.ActiveCount() == 0 {
-			if nextIdx >= len(pending) {
-				break // nothing active, nothing pending: all done
+			if sp.InFlight() == 0 && nextIdx >= len(pending) {
+				break // nothing in flight, nothing pending: all done
 			}
-			continue
+			continue // mid-prefill sequences or future arrivals remain
 		}
 		finished, _, err := sp.DecodeStep()
 		if err != nil {

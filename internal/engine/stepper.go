@@ -14,10 +14,18 @@ import (
 // offline Serve trace replay and the live internal/serve loop are both
 // thin drivers over this type.
 //
+// Prefill is chunkable (Sarathi-style): with a positive
+// PrefillChunkTokens budget, each Prefill call mixes at most that many
+// pending prompt tokens into the iteration, carrying partially
+// prefilled sequences across iterations so one long prompt can never
+// monopolise the loop and stall the decode batch's token cadence.
+//
 // Time is virtual: the Stepper advances its clock by the engine cost
 // model's step durations. Admission is conservative — a request is
 // admitted only when its full prompt+output KV reservation fits — so
-// no sequence can fail mid-flight.
+// no sequence can fail mid-flight. KV blocks are claimed lazily as
+// prefill chunks (and then decode tokens) actually consume them; the
+// reservation covers everything not yet claimed.
 //
 // A Stepper is not safe for concurrent use; callers serialise
 // scheduling decisions, as vLLM's engine loop does.
@@ -28,24 +36,37 @@ type Stepper struct {
 	// offline Serve path keeps the padded baseline.
 	PackedPrefill bool
 
+	// PrefillChunkTokens caps the prompt tokens one Prefill call may
+	// process (0 = monolithic: every admitted prompt prefills in one
+	// batch). Chunked prefill is always priced token-packed
+	// (ChunkedPrefillTime), regardless of PackedPrefill: a chunk budget
+	// only makes sense for a varlen kernel.
+	PrefillChunkTokens int
+
 	e   *Engine
 	mgr *kvcache.Manager
 
 	now      float64
-	admitted []*sequence // admitted, awaiting prefill
+	admitted []*sequence // admitted, prefilling (possibly mid-chunk)
 	active   []*sequence // prefilled, decoding
 	reserved int         // blocks reserved beyond those allocated
 
 	outputTokens int64
 	decodeSteps  int64
 	peak         int
+
+	prefillIters  int64
+	prefillTokens int64
+	lastDecodeEnd float64 // end of the previous decode step; -1 when the batch has emptied
+	maxDecodeGap  float64
 }
 
 type sequence struct {
 	req       Request
 	m         RequestMetrics
 	remaining int // output tokens still to produce
-	ctx       int // current context length
+	ctx       int // context length once prefilled (prompt, then +1 per decode)
+	prefilled int // prompt tokens prefilled so far (chunk progress)
 	reserved  int // blocks reserved beyond those allocated
 }
 
@@ -59,7 +80,7 @@ func NewStepper(e *Engine) (*Stepper, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stepper{e: e, mgr: mgr}, nil
+	return &Stepper{e: e, mgr: mgr, lastDecodeEnd: -1}, nil
 }
 
 // Clock returns the stepper's virtual time in seconds.
@@ -76,8 +97,8 @@ func (s *Stepper) AdvanceTo(t float64) {
 // ActiveCount returns the number of sequences in the decoding batch.
 func (s *Stepper) ActiveCount() int { return len(s.active) }
 
-// AdmittedCount returns the number of admitted sequences awaiting
-// prefill.
+// AdmittedCount returns the number of admitted sequences awaiting or
+// mid-way through prefill.
 func (s *Stepper) AdmittedCount() int { return len(s.admitted) }
 
 // InFlight returns all sequences holding KV capacity (admitted or
@@ -93,6 +114,21 @@ func (s *Stepper) DecodeSteps() int64 { return s.decodeSteps }
 // PeakConcurrency returns the largest decoding batch seen so far.
 func (s *Stepper) PeakConcurrency() int { return s.peak }
 
+// PrefillIterations returns the number of Prefill calls that processed
+// at least one prompt chunk.
+func (s *Stepper) PrefillIterations() int64 { return s.prefillIters }
+
+// PrefillTokens returns the total prompt tokens prefilled so far
+// (across all chunks; first output tokens are not counted).
+func (s *Stepper) PrefillTokens() int64 { return s.prefillTokens }
+
+// MaxDecodeGap returns the longest virtual-time gap between two
+// consecutive decode steps observed while the decode batch stayed
+// non-empty — the worst token-cadence stall a decoding sequence has
+// seen, typically inflated by a long prefill wedged between steps.
+// Gaps across an empty batch (idle stretches) do not count.
+func (s *Stepper) MaxDecodeGap() float64 { return s.maxDecodeGap }
+
 // CanAdmit reports whether a prompt+output reservation of the given
 // lengths fits in the KV blocks that are currently free and
 // unreserved.
@@ -101,10 +137,11 @@ func (s *Stepper) CanAdmit(promptLen, outputLen int) bool {
 	return need <= s.mgr.FreeBlocks()-s.reserved
 }
 
-// Admit grants the request KV capacity: its prompt blocks are
-// allocated now and the remaining output blocks reserved, so the
-// sequence can never fail mid-flight. The request joins the prefill
-// queue; its Admitted timestamp is the current virtual clock.
+// Admit grants the request KV capacity: every block of its full
+// prompt+output footprint is reserved up front, so the sequence can
+// never fail mid-flight; the blocks themselves are claimed lazily as
+// prefill chunks and decode tokens consume them. The request joins the
+// prefill queue; its Admitted timestamp is the current virtual clock.
 func (s *Stepper) Admit(r Request) error {
 	if r.PromptLen <= 0 || r.OutputLen <= 0 {
 		return fmt.Errorf("engine: request %d invalid (%+v)", r.ID, r)
@@ -113,11 +150,7 @@ func (s *Stepper) Admit(r Request) error {
 		return fmt.Errorf("engine: request %d (%d tokens) does not fit in free KV capacity",
 			r.ID, r.PromptLen+r.OutputLen)
 	}
-	if err := s.mgr.Allocate(r.ID, r.PromptLen); err != nil {
-		return err
-	}
-	need := kvcache.BlocksFor(r.PromptLen+r.OutputLen, kvcache.DefaultBlockTokens)
-	res := need - kvcache.BlocksFor(r.PromptLen, kvcache.DefaultBlockTokens)
+	res := kvcache.BlocksFor(r.PromptLen+r.OutputLen, kvcache.DefaultBlockTokens)
 	s.reserved += res
 	s.admitted = append(s.admitted, &sequence{
 		req:       r,
@@ -136,11 +169,13 @@ func (s *Stepper) FreeBlocks() int { return s.mgr.FreeBlocks() - s.reserved }
 // Preempt evicts the in-flight sequence with the given id, releasing
 // every KV block it holds (allocated and reserved) and discounting the
 // tokens it already emitted, so that the capacity can fund a more
-// urgent admission. It returns the sequence's original Request, which
-// the caller requeues: on re-admission the sequence restarts from
-// scratch (prefill and all output tokens are recomputed), exactly the
-// preempt-and-recompute discipline vLLM applies under memory pressure.
-// The second result is false when no in-flight sequence has that id.
+// urgent admission. A partially prefilled victim's chunk progress is
+// discarded with its blocks. It returns the sequence's original
+// Request, which the caller requeues: on re-admission the sequence
+// restarts from scratch (prefill and all output tokens are
+// recomputed), exactly the preempt-and-recompute discipline vLLM
+// applies under memory pressure. The second result is false when no
+// in-flight sequence has that id.
 func (s *Stepper) Preempt(id int) (Request, bool) {
 	for i, q := range s.admitted {
 		if q.req.ID == id {
@@ -160,9 +195,11 @@ func (s *Stepper) Preempt(id int) (Request, bool) {
 // evict releases a preempted sequence's capacity and token accounting.
 func (s *Stepper) evict(q *sequence) Request {
 	s.reserved -= q.reserved
-	if err := s.mgr.Free(q.req.ID); err != nil {
-		// Unreachable: every in-flight sequence owns an allocation.
-		panic(fmt.Sprintf("engine: preempt freed unallocated request %d: %v", q.req.ID, err))
+	if q.prefilled > 0 {
+		if err := s.mgr.Free(q.req.ID); err != nil {
+			// Unreachable: a sequence with chunk progress owns an allocation.
+			panic(fmt.Sprintf("engine: preempt freed unallocated request %d: %v", q.req.ID, err))
+		}
 	}
 	// OutputTokens counts useful tokens only; a preempted sequence's
 	// partial output is recomputed after re-admission.
@@ -170,41 +207,99 @@ func (s *Stepper) evict(q *sequence) Request {
 	return q.req
 }
 
-// Prefill runs one prefill batch over every admitted sequence, emits
-// each sequence's first token, and moves them into the decoding batch.
-// It returns the prefilled request metrics (TTFT now known) and the
-// elapsed virtual seconds (0, nil when nothing is waiting).
+// Prefill runs one prefill iteration over the admitted queue in
+// admission order. With a chunk budget it processes at most
+// PrefillChunkTokens prompt tokens — finishing the partially prefilled
+// head first — and leaves the rest for later iterations; without one
+// it prefills every admitted prompt in a single batch. Sequences whose
+// prompt completes this iteration emit their first token and move to
+// the decoding batch. It returns the metrics of those completing
+// sequences (TTFT now known) and the elapsed virtual seconds (0, nil
+// when nothing is waiting).
 func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 	if len(s.admitted) == 0 {
 		return nil, 0
 	}
-	var elapsed float64
-	if s.PackedPrefill {
-		prompts := make([]int, len(s.admitted))
-		for i, q := range s.admitted {
-			prompts[i] = q.req.PromptLen
+	budget := s.PrefillChunkTokens
+	chunked := budget > 0
+
+	// Carve this iteration's chunks in admission order.
+	var chunks []PrefillChunk
+	var touched []*sequence
+	for _, q := range s.admitted {
+		if chunked && budget <= 0 {
+			break
 		}
-		elapsed = s.e.PackedPrefillTime(prompts)
+		c := q.req.PromptLen - q.prefilled
+		if chunked && c > budget {
+			c = budget
+		}
+		chunks = append(chunks, PrefillChunk{
+			Start:  q.prefilled,
+			Tokens: c,
+			Final:  q.prefilled+c == q.req.PromptLen,
+		})
+		touched = append(touched, q)
+		if chunked {
+			budget -= c
+		}
+	}
+
+	// Claim the chunk tokens' KV blocks out of each sequence's
+	// reservation. The conservative admission reservation guarantees
+	// the physical blocks are there.
+	for i, q := range touched {
+		before := kvcache.BlocksFor(q.prefilled, kvcache.DefaultBlockTokens)
+		var err error
+		if q.prefilled == 0 {
+			err = s.mgr.Allocate(q.req.ID, chunks[i].Tokens)
+		} else {
+			err = s.mgr.Extend(q.req.ID, chunks[i].Tokens)
+		}
+		if err != nil {
+			// Unreachable: the chunk claims within the reservation.
+			panic(fmt.Sprintf("engine: reservation violated prefilling request %d: %v", q.req.ID, err))
+		}
+		q.prefilled += chunks[i].Tokens
+		claimed := kvcache.BlocksFor(q.prefilled, kvcache.DefaultBlockTokens) - before
+		q.reserved -= claimed
+		s.reserved -= claimed
+		s.prefillTokens += int64(chunks[i].Tokens)
+	}
+
+	var elapsed float64
+	if chunked || s.PackedPrefill {
+		elapsed = s.e.ChunkedPrefillTime(chunks)
 	} else {
 		maxPrompt := 0
-		for _, q := range s.admitted {
+		for _, q := range touched {
 			if q.req.PromptLen > maxPrompt {
 				maxPrompt = q.req.PromptLen
 			}
 		}
-		elapsed = s.e.PrefillTime(len(s.admitted), maxPrompt)
+		elapsed = s.e.PrefillTime(len(touched), maxPrompt)
 	}
 	s.now += elapsed
-	out := make([]RequestMetrics, 0, len(s.admitted))
+	s.prefillIters++
+
+	// Completing sequences emit their first token and start decoding;
+	// partially prefilled ones keep their queue position, so the head
+	// finishes before the budget feeds the next prompt.
+	var out []RequestMetrics
+	keep := s.admitted[:0]
 	for _, q := range s.admitted {
+		if q.prefilled < q.req.PromptLen {
+			keep = append(keep, q)
+			continue
+		}
 		q.m.FirstToken = s.now
 		q.m.TTFT = s.now - q.m.Arrival
-		q.remaining-- // the prefill emits the first token
+		q.remaining-- // the final prefill chunk emits the first token
 		s.outputTokens++
 		s.active = append(s.active, q)
 		out = append(out, q.m)
 	}
-	s.admitted = s.admitted[:0]
+	s.admitted = keep
 	if len(s.active) > s.peak {
 		s.peak = len(s.active)
 	}
@@ -229,6 +324,12 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 	elapsed := s.e.BatchDecodeStepTime(b, sumCtx)
 	s.now += elapsed
 	s.decodeSteps++
+	if s.lastDecodeEnd >= 0 {
+		if gap := s.now - s.lastDecodeEnd; gap > s.maxDecodeGap {
+			s.maxDecodeGap = gap
+		}
+	}
+	s.lastDecodeEnd = s.now
 
 	var finished []RequestMetrics
 	next := s.active[:0]
@@ -262,6 +363,11 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 		}
 	}
 	s.active = next
+	if len(s.active) == 0 {
+		// The batch has drained: a later gap to a fresh batch's first
+		// step is idle time, not a cadence stall.
+		s.lastDecodeEnd = -1
+	}
 	return finished, elapsed, nil
 }
 

@@ -86,9 +86,13 @@ func structuredError(w http.ResponseWriter, status int, code, msg string) {
 // the backoff by however much faster than real time the scheduler
 // runs, and a lifetime average never recovers from an idle stretch),
 // clamped to [1s, 60s]. With no recent completion the drain rate is
-// unknown and the floor applies.
+// unknown and the floor applies. The estimate must survive any Stats a
+// Backend implementation reports: a zero, negative, or non-finite
+// drain rate (e.g. a first-burst window whose wall-clock span was
+// zero) falls back to the floor instead of leaking NaN into the
+// Retry-After header.
 func retryAfterSeconds(st serve.Stats) string {
-	if st.Queued <= 0 || st.RecentDrainRPS <= 0 {
+	if st.Queued <= 0 || st.RecentDrainRPS <= 0 || math.IsNaN(st.RecentDrainRPS) {
 		return "1"
 	}
 	secs := math.Ceil(float64(st.Queued) / st.RecentDrainRPS)

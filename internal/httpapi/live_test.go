@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -205,6 +206,40 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestStatsExposesChunkMetrics: a chunked deployment reports its
+// prefill-chunk and cadence-stall metrics on /v1/stats.
+func TestStatsExposesChunkMetrics(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8, PrefillChunkTokens: 32})
+	if resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 200, OutputLen: 8,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := doJSON(t, srv, http.MethodGet, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PrefillChunkTokens != 32 {
+		t.Errorf("prefill_chunk_tokens = %d, want 32: %s", st.PrefillChunkTokens, body)
+	}
+	// A 200-token prompt under a 32-token budget takes 7 iterations.
+	if st.PrefillIterations < 7 || st.PrefillTokens != 200 {
+		t.Errorf("prefill iterations/tokens = %d/%d, want >=7/200: %s",
+			st.PrefillIterations, st.PrefillTokens, body)
+	}
+	// The raw JSON must carry the wire field names the dashboards bind to.
+	for _, key := range []string{"prefill_chunk_tokens", "prefill_iterations", "prefill_tokens", "max_decode_gap_seconds"} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("stats body missing %q: %s", key, body)
+		}
+	}
+}
+
 // TestGenerateSchedulingFields: priority and ttft_deadline_ms are
 // accepted and echoed, and invalid values get a structured 400.
 func TestGenerateSchedulingFields(t *testing.T) {
@@ -293,6 +328,12 @@ func TestRetryAfterDerivation(t *testing.T) {
 		{serve.Stats{Queued: 1000, RecentDrainRPS: 1}, "60"},            // clamped
 		{serve.Stats{Queued: 50, RecentDrainRPS: 5000}, "1"},            // fast drain → floor
 		{serve.Stats{Queued: 10, Completed: 9, WallSeconds: 3600}, "1"}, // idle history alone is no signal
+		// Degenerate rates a custom Backend could report (e.g. a drain
+		// window whose wall-clock span was zero): never leak Inf/NaN
+		// arithmetic into the header.
+		{serve.Stats{Queued: 10, RecentDrainRPS: math.Inf(1)}, "1"},
+		{serve.Stats{Queued: 10, RecentDrainRPS: math.NaN()}, "1"},
+		{serve.Stats{Queued: 10, RecentDrainRPS: -3}, "1"},
 	}
 	for _, c := range cases {
 		if got := retryAfterSeconds(c.st); got != c.want {

@@ -116,18 +116,31 @@ func (m *Manager) Allocate(seqID, numTokens int) error {
 
 // AppendToken extends a sequence by one generated token, claiming a
 // new block when it crosses a block boundary.
-func (m *Manager) AppendToken(seqID int) error {
+func (m *Manager) AppendToken(seqID int) error { return m.Extend(seqID, 1) }
+
+// Extend grows a sequence by n tokens at once, claiming every block the
+// growth crosses — the chunked-prefill entry point, where one scheduler
+// iteration appends a whole prompt chunk rather than a single token. It
+// fails atomically (no blocks claimed) when the free list cannot cover
+// the growth.
+func (m *Manager) Extend(seqID, n int) error {
 	table, ok := m.tables[seqID]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
-	tokens := m.seqTokens[seqID] + 1
-	if BlocksFor(tokens, m.cfg.BlockTokens) > len(table) {
-		if len(m.freeList) == 0 {
-			return fmt.Errorf("kvcache: out of blocks appending to sequence %d", seqID)
-		}
-		m.tables[seqID] = append(table, m.pop())
+	if n <= 0 {
+		return fmt.Errorf("kvcache: sequence %d extension must be positive, got %d", seqID, n)
 	}
+	tokens := m.seqTokens[seqID] + n
+	need := BlocksFor(tokens, m.cfg.BlockTokens) - len(table)
+	if need > len(m.freeList) {
+		return fmt.Errorf("kvcache: need %d more blocks to extend sequence %d by %d tokens, only %d free",
+			need, seqID, n, len(m.freeList))
+	}
+	for i := 0; i < need; i++ {
+		table = append(table, m.pop())
+	}
+	m.tables[seqID] = table
 	m.seqTokens[seqID] = tokens
 	return nil
 }

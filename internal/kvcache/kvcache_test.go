@@ -104,6 +104,43 @@ func TestAppendTokenBlockBoundary(t *testing.T) {
 	}
 }
 
+func TestExtendChunks(t *testing.T) {
+	m := newTestManager(t, 4) // 64 tokens
+	if err := m.Allocate(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	// A 23-token chunk lands at 33 tokens = 3 blocks.
+	if err := m.Extend(3, 23); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedBlocks() != 3 || m.Tokens(3) != 33 {
+		t.Errorf("used=%d tokens=%d, want 3/33", m.UsedBlocks(), m.Tokens(3))
+	}
+	if err := m.Extend(3, 0); err == nil {
+		t.Error("zero-token extension accepted")
+	}
+	// Atomic failure: a chunk that overshoots capacity claims nothing.
+	if err := m.Extend(3, 32); err == nil {
+		t.Error("extension beyond capacity accepted")
+	}
+	if m.UsedBlocks() != 3 || m.Tokens(3) != 33 {
+		t.Errorf("failed extension mutated state: used=%d tokens=%d", m.UsedBlocks(), m.Tokens(3))
+	}
+	// A chunk that exactly fills the cache succeeds.
+	if err := m.Extend(3, 31); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 0 || m.Tokens(3) != 64 {
+		t.Errorf("free=%d tokens=%d, want 0/64", m.FreeBlocks(), m.Tokens(3))
+	}
+	if err := m.Extend(9, 1); err == nil {
+		t.Error("extension of unknown sequence accepted")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownSequenceErrors(t *testing.T) {
 	m := newTestManager(t, 2)
 	if err := m.AppendToken(9); err == nil {

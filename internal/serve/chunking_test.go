@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"zipserv/internal/engine"
+)
+
+// TestChunkedPrefillServes runs the live loop under a chunk budget: a
+// trace mixing a very long prompt into short decoders must fully
+// complete, split its prefill across many iterations, and publish the
+// chunk/cadence metrics on the stats surface.
+func TestChunkedPrefillServes(t *testing.T) {
+	s := newServer(t, Config{QueueDepth: 16, PrefillChunkTokens: 64})
+	reqs := []Request{
+		{PromptLen: 48, OutputLen: 32, Arrival: 0},
+		{PromptLen: 48, OutputLen: 32, Arrival: 0},
+		{PromptLen: 1024, OutputLen: 8, Arrival: 0.01},
+		{PromptLen: 48, OutputLen: 32, Arrival: 0.02},
+	}
+	var wantPrefill int64
+	tickets := make([]*Ticket, len(reqs))
+	for i, r := range reqs {
+		tk, err := s.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+		wantPrefill += int64(r.PromptLen)
+	}
+	s.Start()
+	for i, tk := range tickets {
+		if res := awaitResult(t, tk); res.Err != nil {
+			t.Fatalf("request %d failed: %v", i, res.Err)
+		}
+	}
+	st := s.Stats()
+	if st.PrefillChunkTokens != 64 {
+		t.Errorf("stats chunk budget %d, want 64", st.PrefillChunkTokens)
+	}
+	if st.PrefillTokens != wantPrefill {
+		t.Errorf("prefilled %d prompt tokens, want %d", st.PrefillTokens, wantPrefill)
+	}
+	// The 1024-token prompt alone needs 16 chunk iterations.
+	if st.PrefillIterations < 16 {
+		t.Errorf("prefill ran in %d iterations, want >= 16 under a 64-token budget", st.PrefillIterations)
+	}
+	if st.MaxDecodeGap <= 0 {
+		t.Errorf("max decode gap %.6f, want > 0 once decoders overlapped prefill", st.MaxDecodeGap)
+	}
+	if st.Completed != int64(len(reqs)) {
+		t.Errorf("completed %d, want %d", st.Completed, len(reqs))
+	}
+}
+
+// TestChunkedPreemptionDiscardsProgress: under capacity pressure and a
+// chunk budget, the SLO policy must be able to preempt a victim that
+// is still mid-prefill; the victim requeues with its chunk progress
+// discarded and still completes.
+func TestChunkedPreemptionDiscardsProgress(t *testing.T) {
+	eng := testEngine(t, engine.BackendZipServ)
+	plan := eng.Plan()
+	hogTokens := (plan.Blocks - 4) / 2 * 16
+	hog := Request{PromptLen: hogTokens / 2, OutputLen: hogTokens - hogTokens/2, Arrival: 0, Class: ClassBatch}
+	urgent := Request{PromptLen: 256, OutputLen: 64, Arrival: 0.001, Class: ClassInteractive, TTFTDeadline: 1}
+
+	// A small budget keeps the huge hog prompts mid-prefill for many
+	// iterations, so the preemption victim is a partially prefilled
+	// sequence, not a decoding one.
+	s := newServer(t, Config{Engine: eng, QueueDepth: 8, Policy: SLOPolicy{}, PrefillChunkTokens: 128})
+	h1, err := s.Submit(hog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Submit(hog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := s.Submit(urgent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	if ur := awaitResult(t, u); ur.Err != nil {
+		t.Fatalf("urgent request failed: %v", ur.Err)
+	}
+	preempted := 0
+	for _, tk := range []*Ticket{h1, h2} {
+		res := awaitResult(t, tk)
+		if res.Err != nil {
+			t.Fatalf("preempted hog failed: %v", res.Err)
+		}
+		preempted += res.Preempted
+	}
+	if preempted == 0 {
+		t.Fatal("urgent deadline admitted without preempting a hog — capacity sizing is vacuous")
+	}
+	// Discarded chunk progress is recomputed: total prefilled prompt
+	// tokens must exceed the sum of prompts by the wasted chunks.
+	st := s.Stats()
+	if flat := int64(hog.PromptLen)*2 + int64(urgent.PromptLen); st.PrefillTokens <= flat {
+		t.Errorf("prefill tokens %d, want > %d (preempted chunk progress recomputed)", st.PrefillTokens, flat)
+	}
+}
+
+// TestAdmissionWindowCoalesces: with a micro-batch admission window,
+// two live submissions a few wall-milliseconds apart must enter the
+// same prefill batch — identical virtual admission and first-token
+// stamps — instead of the first draining before the second arrives.
+func TestAdmissionWindowCoalesces(t *testing.T) {
+	s := newServer(t, Config{QueueDepth: 8, AdmissionWindow: 300 * time.Millisecond})
+	s.Start()
+	r := Request{PromptLen: 128, OutputLen: 32, Arrival: ArrivalNow}
+	tk1, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	tk2, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, res2 := awaitResult(t, tk1), awaitResult(t, tk2)
+	if res1.Err != nil || res2.Err != nil {
+		t.Fatalf("results failed: %v / %v", res1.Err, res2.Err)
+	}
+	if res1.Admitted != res2.Admitted || res1.FirstToken != res2.FirstToken {
+		t.Errorf("window did not coalesce: admitted %.6f/%.6f, first token %.6f/%.6f",
+			res1.Admitted, res2.Admitted, res1.FirstToken, res2.FirstToken)
+	}
+	if st := s.Stats(); st.PeakConcurrency < 2 {
+		t.Errorf("peak concurrency %d, want >= 2 (batched prefill)", st.PeakConcurrency)
+	}
+
+	// A second burst after the batch drained: the window must re-arm
+	// on every idle edge, not only on the loop's first iteration.
+	tk3, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	tk4, err := s.Submit(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, res4 := awaitResult(t, tk3), awaitResult(t, tk4)
+	if res3.Err != nil || res4.Err != nil {
+		t.Fatalf("second-burst results failed: %v / %v", res3.Err, res4.Err)
+	}
+	if res3.Admitted != res4.Admitted {
+		t.Errorf("window did not re-arm after a busy period: admitted %.6f/%.6f",
+			res3.Admitted, res4.Admitted)
+	}
+}
+
+// TestTimeScalePacesWallClock: with a time scale, the loop must spend
+// at least (virtual duration × scale) of wall time serving, so live
+// arrivals get a real window to batch in.
+func TestTimeScalePacesWallClock(t *testing.T) {
+	const scale = 1.0
+	s := newServer(t, Config{QueueDepth: 8, TimeScale: scale})
+	s.Start()
+	start := time.Now()
+	tk, err := s.Submit(Request{PromptLen: 64, OutputLen: 24, Arrival: ArrivalNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := awaitResult(t, tk)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	wall := time.Since(start).Seconds()
+	// The last iteration's sleep lands after result delivery, so allow
+	// one decode step of slack below the exact product.
+	if minWall := res.Finished * scale * 0.5; wall < minWall {
+		t.Errorf("paced run took %.4fs wall for %.4fs virtual at scale %.1f, want >= %.4fs",
+			wall, res.Finished, scale, minWall)
+	}
+}
+
+// TestStopCancelsPacing: once Stop begins, a paced server must drain
+// flat out — pacing only exists so future arrivals can batch, and
+// Submit already rejects them. Without the cancel, this drain would
+// need OutputLen × step × TimeScale ≈ minutes of wall time.
+func TestStopCancelsPacing(t *testing.T) {
+	s := newServer(t, Config{QueueDepth: 8, TimeScale: 100})
+	s.Start()
+	tk, err := s.Submit(Request{PromptLen: 64, OutputLen: 400, Arrival: ArrivalNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the request get in flight, paced
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatalf("paced drain did not finish: %v", err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("drain took %v; pacing was not cancelled by Stop", wall)
+	}
+	if res := awaitResult(t, tk); res.Err != nil {
+		t.Errorf("in-flight request cut off during drain: %v", res.Err)
+	}
+}
+
+// TestRecentDrainRPSZeroSpanClamped pins the Retry-After regression: a
+// first burst whose completions all share one wall timestamp has a
+// zero-width drain window; the published rate must stay finite (the
+// 1s-floor clamp), never Inf/NaN.
+func TestRecentDrainRPSZeroSpanClamped(t *testing.T) {
+	s := newServer(t, Config{QueueDepth: 4})
+	s.Start()
+	now := time.Now()
+	s.statsMu.Lock()
+	s.recent = append(s.recent[:0], now, now, now)
+	s.statsMu.Unlock()
+	st := s.Stats()
+	if math.IsInf(st.RecentDrainRPS, 0) || math.IsNaN(st.RecentDrainRPS) {
+		t.Fatalf("zero-span drain window published a non-finite rate: %v", st.RecentDrainRPS)
+	}
+	if st.RecentDrainRPS != 3 { // 3 completions over the 1s floor
+		t.Errorf("RecentDrainRPS = %v, want 3 (3 completions / 1s floor)", st.RecentDrainRPS)
+	}
+}

@@ -184,6 +184,17 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.DecodeSteps += st.DecodeSteps
 		agg.PeakConcurrency += st.PeakConcurrency
 		agg.RecentDrainRPS += st.RecentDrainRPS
+		agg.PrefillIterations += st.PrefillIterations
+		agg.PrefillTokens += st.PrefillTokens
+		// Worst-replica cadence stall and the largest configured budget
+		// (fleets are normally homogeneous; max is the honest summary
+		// when they are not).
+		if st.MaxDecodeGap > agg.MaxDecodeGap {
+			agg.MaxDecodeGap = st.MaxDecodeGap
+		}
+		if st.PrefillChunkTokens > agg.PrefillChunkTokens {
+			agg.PrefillChunkTokens = st.PrefillChunkTokens
+		}
 		if st.SimSeconds > agg.SimSeconds {
 			agg.SimSeconds = st.SimSeconds
 		}

@@ -120,6 +120,26 @@ type Config struct {
 	// batches padded to the longest prompt, reproducing the offline
 	// static-batch baseline. For benchmarks.
 	PaddedPrefill bool
+	// PrefillChunkTokens caps the prompt tokens one scheduler iteration
+	// may prefill (Sarathi-style chunked prefill): partially prefilled
+	// sequences carry their chunk progress across iterations, so one
+	// long prompt can never stall the decode batch's token cadence.
+	// 0 = monolithic prefill (the legacy behaviour). Chunked prefill is
+	// always priced token-packed, overriding PaddedPrefill.
+	PrefillChunkTokens int
+	// AdmissionWindow, when positive, makes an idle scheduler hold its
+	// first incoming submission for up to this wall-clock duration
+	// while more arrive, so sparse real-time HTTP traffic coalesces
+	// into a micro-batch the way trace replays do. The hold costs wall
+	// time only; virtual arrival stamps (live or trace) are unaffected.
+	AdmissionWindow time.Duration
+	// TimeScale, when positive, paces the scheduler loop against the
+	// wall clock: each iteration sleeps its virtual step duration ×
+	// TimeScale, so the virtual clock advances no faster than
+	// wall-time/TimeScale and live arrivals interleave with scheduling
+	// instead of draining one by one. 1.0 ≈ real time; 0 (default) runs
+	// as fast as the CPU allows.
+	TimeScale float64
 }
 
 // EventType tags a streaming event.
@@ -203,6 +223,16 @@ type Stats struct {
 	OutputTokens    int64   `json:"output_tokens"`
 	DecodeSteps     int64   `json:"decode_steps"`
 	PeakConcurrency int     `json:"peak_concurrency"`
+
+	// Chunked-prefill and cadence metrics. PrefillChunkTokens echoes
+	// the configured per-iteration budget (0 = monolithic);
+	// PrefillIterations and PrefillTokens count prefill work done;
+	// MaxDecodeGap is the worst inter-token stall any decoding sequence
+	// has seen (virtual seconds) — the number chunking bounds.
+	PrefillChunkTokens int     `json:"prefill_chunk_tokens"`
+	PrefillIterations  int64   `json:"prefill_iterations"`
+	PrefillTokens      int64   `json:"prefill_tokens"`
+	MaxDecodeGap       float64 `json:"max_decode_gap_seconds"`
 
 	Goodput    float64 `json:"goodput_rps"`      // completed / sim second
 	Throughput float64 `json:"throughput_tok_s"` // tokens / sim second

@@ -65,9 +65,10 @@ func New(cfg Config) (*Server, error) {
 		// Seed the snapshot so a router's capacity-aware dispatch sees
 		// real headroom before the loop's first publish.
 		stats: Stats{
-			FreeKVBlocks:  blocks,
-			TotalKVBlocks: blocks,
-			Policy:        cfg.Policy.Name(),
+			FreeKVBlocks:       blocks,
+			TotalKVBlocks:      blocks,
+			Policy:             cfg.Policy.Name(),
+			PrefillChunkTokens: cfg.PrefillChunkTokens,
 		},
 	}, nil
 }
@@ -163,9 +164,16 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	s.pruneRecentLocked(now)
 	if n := len(s.recent); n > 0 {
+		// On the first request burst every retained completion can carry
+		// the same wall timestamp as this snapshot, making the window
+		// span exactly zero (and clock adjustments could even drive it
+		// negative) — dividing by it would publish an infinite drain
+		// rate and poison the Retry-After estimate downstream. Clamp the
+		// span to a 1s floor, which also keeps sub-second bursts from
+		// overstating the sustained rate.
 		span := now.Sub(s.recent[0]).Seconds()
-		if span < 1 {
-			span = 1 // sub-second bursts: rate over a 1s floor
+		if span < 1 { // covers the zero/negative degenerate spans too
+			span = 1
 		}
 		st.RecentDrainRPS = float64(n) / span
 	}
@@ -196,13 +204,24 @@ func (s *Server) loop() {
 		return
 	}
 	sp.PackedPrefill = !s.cfg.PaddedPrefill
+	sp.PrefillChunkTokens = s.cfg.PrefillChunkTokens
 
 	var (
 		pending  []*call
 		inflight = make(map[int]*call)
 		agg      aggregate
+		wasIdle  bool
 	)
 	for {
+		// Observe idleness before draining the channel: whatever the
+		// drain below (or the blocking select) picks up is then the
+		// first work of a fresh batch, eligible for the admission
+		// window. Re-arming anywhere later would miss bursts whose
+		// first request lands between the end of one batch and the
+		// next iteration's drain.
+		if sp.InFlight() == 0 && len(pending) == 0 {
+			wasIdle = true
+		}
 		pending = s.drain(sp, pending)
 
 		if sp.InFlight() == 0 && len(pending) == 0 {
@@ -221,16 +240,27 @@ func (s *Server) loop() {
 			}
 		}
 
+		// First work after an idle stretch: hold the admission window
+		// open so a wall-clock burst coalesces into one prefill batch.
+		// The edge lives here rather than in the idle select because
+		// the top-of-loop drain can win the race for a burst's first
+		// submission and would otherwise bypass the window.
+		if wasIdle {
+			wasIdle = false
+			pending = s.coalesce(sp, pending)
+		}
+
 		pending = s.admit(sp, pending, inflight, &agg)
 
-		// Prefill newcomers (packed), then one decode iteration.
-		prefilled, _ := sp.Prefill()
+		// Prefill newcomers (packed, at most one chunk budget's worth of
+		// prompt tokens), then one decode iteration.
+		prefilled, prefillElapsed := sp.Prefill()
 		for _, m := range prefilled {
 			if c := inflight[m.ID]; c != nil {
 				c.emit(Event{Type: EventFirstToken, SimSeconds: m.FirstToken, TTFT: m.TTFT})
 			}
 		}
-		finished, _, err := sp.DecodeStep()
+		finished, decodeElapsed, err := sp.DecodeStep()
 		if err != nil {
 			// Scheduler invariant broken (unreachable under the
 			// conservative reservation): fail everything and halt.
@@ -257,6 +287,49 @@ func (s *Server) loop() {
 				TTFT: m.TTFT, TPOT: m.TPOT,
 				QueueWait: m.Admitted - m.Arrival, Latency: m.Latency,
 			})
+		}
+		s.pace(prefillElapsed + decodeElapsed)
+	}
+}
+
+// pace sleeps this iteration's virtual step duration × TimeScale so
+// the virtual clock advances no faster than scaled wall time: sparse
+// live arrivals land mid-flight and batch, instead of each draining
+// completely before the next one arrives. Idle fast-forwards (arrival
+// jumps) are never paced — only computed steps are.
+func (s *Server) pace(simElapsed float64) {
+	if s.cfg.TimeScale <= 0 || simElapsed <= 0 {
+		return
+	}
+	select {
+	case <-time.After(time.Duration(simElapsed * s.cfg.TimeScale * float64(time.Second))):
+	case <-s.stop:
+		// Draining: pacing only exists so new live arrivals can batch,
+		// and Submit already rejects them — serve what's left flat out
+		// instead of stretching the drain by the time scale.
+	}
+}
+
+// coalesce implements the micro-batch admission window: an idle
+// scheduler that just received its first live submission keeps
+// draining arrivals for up to AdmissionWindow of wall time before
+// scheduling, so a burst spread over a few milliseconds prefills as
+// one batch. Shutdown cuts the window short; everything gathered is
+// still served.
+func (s *Server) coalesce(sp *engine.Stepper, pending []*call) []*call {
+	if s.cfg.AdmissionWindow <= 0 {
+		return pending
+	}
+	timer := time.NewTimer(s.cfg.AdmissionWindow)
+	defer timer.Stop()
+	for {
+		select {
+		case c := <-s.submitCh:
+			pending = s.arrive(sp, pending, c)
+		case <-timer.C:
+			return pending
+		case <-s.stop:
+			return pending
 		}
 	}
 }
@@ -447,6 +520,11 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		OutputTokens:    sp.OutputTokens(),
 		DecodeSteps:     sp.DecodeSteps(),
 		PeakConcurrency: sp.PeakConcurrency(),
+
+		PrefillChunkTokens: s.cfg.PrefillChunkTokens,
+		PrefillIterations:  sp.PrefillIterations(),
+		PrefillTokens:      sp.PrefillTokens(),
+		MaxDecodeGap:       sp.MaxDecodeGap(),
 	}
 	if agg.completed > 0 {
 		st.MeanTTFT = agg.ttftSum / float64(agg.completed)

@@ -41,6 +41,18 @@
 // (engine.Stepper) with request-level padded prefill, which makes it
 // the static-batch baseline the live loop is benchmarked against.
 //
+// Prefill is chunkable (Sarathi-style): LiveConfig.PrefillChunkTokens
+// caps the prompt tokens mixed into each iteration, carrying partially
+// prefilled sequences across iterations so one long prompt can never
+// stall the decode batch's token cadence (TPOT); outputs are identical
+// to monolithic prefill, only timing changes, and the worst
+// inter-token stall appears in LiveStats.MaxDecodeGap. For sparse
+// real-time traffic, LiveConfig.AdmissionWindow holds an idle
+// scheduler's first arrival briefly so wall-clock bursts prefill as
+// one batch, and LiveConfig.TimeScale paces the loop against the wall
+// clock so live arrivals interleave with scheduling the way trace
+// replays do.
+//
 // Quick start:
 //
 //	w := zipserv.GaussianWeights(4096, 4096, 0.02, 1)
