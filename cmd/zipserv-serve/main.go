@@ -19,6 +19,13 @@
 // and the worst inter-token stall — the cadence win of chunked
 // prefill. -csv additionally writes the table as CSV.
 //
+// With -compare-prefix it replays one shared-prefix workload (every
+// request repeats the same long prompt prefix, as system prompts and
+// few-shot templates do) with the KV prefix cache off and on, and
+// reports TTFT p50/p99 and the prefill tokens actually computed — the
+// reuse win of copy-on-write prefix caching. -require-prefix-win turns
+// the comparison into a CI gate.
+//
 // Usage:
 //
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -batch 32 -out 2048
@@ -26,6 +33,7 @@
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -live -requests 64 -rate 100
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-policies -requests 64
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-chunking -requests 40 -csv chunking.csv
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-prefix -requests 40 -csv prefix.csv
 package main
 
 import (
@@ -55,7 +63,11 @@ func main() {
 		"replay a mixed interactive/batch trace under each admission policy and compare per-class TTFT")
 	compareChunking := flag.Bool("compare-chunking", false,
 		"replay a long-prompt/decoder mix under each prefill chunk budget and compare decode TPOT p50/p99")
-	csvPath := flag.String("csv", "", "compare-chunking: also write the comparison as CSV to this path")
+	comparePrefix := flag.Bool("compare-prefix", false,
+		"replay a shared-prefix workload with the KV prefix cache off and on and compare TTFT and prefill work")
+	requirePrefixWin := flag.Bool("require-prefix-win", false,
+		"compare-prefix: exit non-zero unless prefix-on TTFT p50 <= prefix-off (CI perf-regression gate)")
+	csvPath := flag.String("csv", "", "compare-chunking/-compare-prefix: also write the comparison as CSV to this path")
 	requests := flag.Int("requests", 64, "live mode: number of trace requests")
 	rate := flag.Float64("rate", 100, "live mode: Poisson arrival rate (req/s)")
 	seed := flag.Int64("seed", 7, "live mode: trace seed")
@@ -63,6 +75,8 @@ func main() {
 
 	var err error
 	switch {
+	case *comparePrefix:
+		err = runComparePrefix(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *csvPath, *requirePrefixWin)
 	case *compareChunking:
 		err = runCompareChunking(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed, *csvPath)
 	case *comparePolicies:
@@ -123,6 +137,42 @@ func run(modelName, device string, gpus int, backend string, batch, prompt, out 
 	return nil
 }
 
+// replayLive drives one request set through a fresh live server built
+// from cfg (caller supplies the engine and scheduling knobs): submit
+// everything, start the scheduler, drain the results in submission
+// order, stop with a 30s drain window, and snapshot the stats. All the
+// compare modes share this lifecycle.
+func replayLive(cfg zipserv.LiveConfig, reqs []zipserv.LiveRequest) ([]zipserv.LiveResult, zipserv.LiveStats, error) {
+	var stats zipserv.LiveStats
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = len(reqs)
+	}
+	srv, err := zipserv.NewLiveServer(cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	tickets := make([]*zipserv.LiveTicket, len(reqs))
+	for i, r := range reqs {
+		if tickets[i], err = srv.Submit(r); err != nil {
+			return nil, stats, err
+		}
+	}
+	srv.Start()
+	results := make([]zipserv.LiveResult, len(reqs))
+	for i, tk := range tickets {
+		results[i] = <-tk.Result()
+		if results[i].Err != nil {
+			return nil, stats, results[i].Err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Stop(ctx); err != nil {
+		return nil, stats, err
+	}
+	return results, srv.Stats(), nil
+}
+
 // runLive replays one synthetic trace twice — through the live
 // continuous-batching scheduler and through the offline static-batch
 // path — and prints the goodput comparison.
@@ -151,32 +201,16 @@ func runLive(modelName, device string, gpus int, backend string, n int, rate flo
 		return err
 	}
 
-	srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{Engine: eng, QueueDepth: len(trace)})
+	reqs := make([]zipserv.LiveRequest, len(trace))
+	for i, r := range trace {
+		reqs[i] = zipserv.LiveRequest{
+			PromptLen: r.PromptLen, OutputLen: r.OutputLen, Arrival: r.ArrivalSeconds,
+		}
+	}
+	_, st, err := replayLive(zipserv.LiveConfig{Engine: eng}, reqs)
 	if err != nil {
 		return err
 	}
-	tickets := make([]*zipserv.LiveTicket, len(trace))
-	for i, r := range trace {
-		tk, err := srv.Submit(zipserv.LiveRequest{
-			PromptLen: r.PromptLen, OutputLen: r.OutputLen, Arrival: r.ArrivalSeconds,
-		})
-		if err != nil {
-			return err
-		}
-		tickets[i] = tk
-	}
-	srv.Start()
-	for _, tk := range tickets {
-		if res := <-tk.Result(); res.Err != nil {
-			return res.Err
-		}
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := srv.Stop(ctx); err != nil {
-		return err
-	}
-	st := srv.Stats()
 
 	liveGoodput := float64(st.Completed) / st.SimSeconds
 	offGoodput := float64(offline.Requests) / offline.MakespanSeconds
@@ -237,38 +271,18 @@ func runComparePolicies(modelName, device string, gpus int, backend string, n in
 		if err != nil {
 			return err
 		}
-		srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{
-			Engine: eng, QueueDepth: len(reqs), Policy: policy,
-		})
+		results, st, err := replayLive(zipserv.LiveConfig{Engine: eng, Policy: policy}, reqs)
 		if err != nil {
 			return err
 		}
-		tickets := make([]*zipserv.LiveTicket, len(reqs))
-		for i, r := range reqs {
-			if tickets[i], err = srv.Submit(r); err != nil {
-				return err
-			}
-		}
-		srv.Start()
 		var intTTFT, batTTFT []float64
-		for i, tk := range tickets {
-			res := <-tk.Result()
-			if res.Err != nil {
-				return res.Err
-			}
+		for i, res := range results {
 			if reqs[i].Class == zipserv.LiveClassBatch {
 				batTTFT = append(batTTFT, res.TTFT)
 			} else {
 				intTTFT = append(intTTFT, res.TTFT)
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		err = srv.Stop(ctx)
-		cancel()
-		if err != nil {
-			return err
-		}
-		st := srv.Stats()
 		fmt.Printf("%-10s %16.3f %16.3f %16.3f %14.2f %10d\n",
 			name, percentile(intTTFT, 0.50), percentile(intTTFT, 0.95),
 			percentile(batTTFT, 0.50), st.Goodput, st.Preempted)
@@ -316,36 +330,16 @@ func runCompareChunking(modelName, device string, gpus int, backend string, n in
 		if err != nil {
 			return err
 		}
-		srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{
-			Engine: eng, QueueDepth: len(reqs), PrefillChunkTokens: chunk,
-		})
+		results, st, err := replayLive(zipserv.LiveConfig{Engine: eng, PrefillChunkTokens: chunk}, reqs)
 		if err != nil {
 			return err
 		}
-		tickets := make([]*zipserv.LiveTicket, len(reqs))
-		for i, r := range reqs {
-			if tickets[i], err = srv.Submit(r); err != nil {
-				return err
-			}
-		}
-		srv.Start()
 		var tpots []float64
-		for i, tk := range tickets {
-			res := <-tk.Result()
-			if res.Err != nil {
-				return res.Err
-			}
+		for i, res := range results {
 			if i%5 != 4 { // the decoders, not the long prompts
 				tpots = append(tpots, res.TPOT)
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		err = srv.Stop(ctx)
-		cancel()
-		if err != nil {
-			return err
-		}
-		st := srv.Stats()
 		label := "none"
 		if chunk > 0 {
 			label = fmt.Sprintf("%d tok", chunk)
@@ -359,6 +353,106 @@ func runCompareChunking(modelName, device string, gpus int, backend string, n in
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", csvPath)
+	}
+	return nil
+}
+
+// runComparePrefix replays one shared-prefix workload — every request
+// carries the same 8×prompt-token prefix (a system prompt / few-shot
+// template stand-in) plus a unique prompt-token suffix, arriving at a
+// steady 1/rate spacing — through the live scheduler with the KV
+// prefix cache off and on, and prints TTFT percentiles, the prefill
+// tokens actually computed, and the cache counters. With requireWin it
+// exits non-zero unless prefix-on TTFT p50 ≤ prefix-off — the CI
+// perf-regression gate for the prefix-cache path.
+func runComparePrefix(modelName, device string, gpus int, backend string, n int, rate float64, prompt, out int, csvPath string, requireWin bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	if n <= 1 || rate <= 0 || prompt <= 0 || out <= 0 {
+		return fmt.Errorf("invalid workload parameters")
+	}
+	prefixLen := 8 * prompt
+	prefix := make([]int, prefixLen)
+	for i := range prefix {
+		prefix[i] = 100003 + i*131
+	}
+	reqs := make([]zipserv.LiveRequest, n)
+	for i := range reqs {
+		tokens := append(append([]int(nil), prefix...), make([]int, prompt)...)
+		for j := 0; j < prompt; j++ {
+			tokens[prefixLen+j] = (i+2)*1000003 + j*131
+		}
+		reqs[i] = zipserv.LiveRequest{
+			Prompt: tokens, OutputLen: out, Arrival: float64(i) / rate,
+		}
+	}
+
+	type row struct {
+		mode          string
+		p50, p99      float64
+		prefillTokens int64
+		hits          int64
+		saved         int64
+		goodput       float64
+	}
+	rows := make([]row, 0, 2)
+	for _, enabled := range []bool{false, true} {
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+		})
+		if err != nil {
+			return err
+		}
+		results, st, err := replayLive(zipserv.LiveConfig{Engine: eng, PrefixCache: enabled}, reqs)
+		if err != nil {
+			return err
+		}
+		ttfts := make([]float64, len(results))
+		for i, res := range results {
+			ttfts[i] = res.TTFT
+		}
+		mode := "prefix-off"
+		if enabled {
+			mode = "prefix-on"
+		}
+		rows = append(rows, row{
+			mode: mode, p50: percentile(ttfts, 0.50), p99: percentile(ttfts, 0.99),
+			prefillTokens: st.PrefillTokens, hits: st.PrefixHits, saved: st.PrefixTokensSaved,
+			goodput: st.Goodput,
+		})
+	}
+
+	fmt.Printf("shared-prefix workload: %d requests, %.0f req/s, prefix %d tokens + suffix %d, output %d (%s on %dx %s, %s)\n\n",
+		n, rate, prefixLen, prompt, out, modelName, gpus, device, backend)
+	fmt.Printf("%-12s %14s %14s %16s %12s %14s %14s\n",
+		"mode", "TTFT p50(s)", "TTFT p99(s)", "prefill tokens", "hits", "tokens saved", "goodput(r/s)")
+	var csv strings.Builder
+	csv.WriteString("mode,ttft_p50_s,ttft_p99_s,prefill_tokens,prefix_hits,prefix_tokens_saved,goodput_rps\n")
+	for _, r := range rows {
+		fmt.Printf("%-12s %14.4f %14.4f %16d %12d %14d %14.2f\n",
+			r.mode, r.p50, r.p99, r.prefillTokens, r.hits, r.saved, r.goodput)
+		fmt.Fprintf(&csv, "%s,%.6f,%.6f,%d,%d,%d,%.3f\n",
+			r.mode, r.p50, r.p99, r.prefillTokens, r.hits, r.saved, r.goodput)
+	}
+	off, on := rows[0], rows[1]
+	if off.p50 > 0 {
+		fmt.Printf("\nprefix-on TTFT p50 speedup: %.2fx, prefill tokens saved: %d\n",
+			off.p50/on.p50, off.prefillTokens-on.prefillTokens)
+	}
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if requireWin && on.p50 > off.p50 {
+		return fmt.Errorf("perf regression: prefix-on TTFT p50 %.6fs > prefix-off %.6fs", on.p50, off.p50)
 	}
 	return nil
 }

@@ -11,11 +11,13 @@
 //	zipserv-server -addr :8080 -model LLaMA3.1-8B -device RTX4090
 //	zipserv-server -replicas 4 -policy priority
 //	zipserv-server -prefill-chunk 256 -admit-window 5ms -time-scale 1
+//	zipserv-server -prefix-cache -prefix-cache-blocks 4096
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
 //	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64}'
 //	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64,"priority":"batch"}'
 //	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64,"ttft_deadline_ms":250,"stream":true}'
+//	curl -X POST localhost:8080/v1/generate -d '{"prompt":[1,2,3,4],"output_len":64}'   # opts into prefix reuse
 //	curl localhost:8080/v1/stats
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
@@ -58,6 +60,10 @@ func main() {
 		"micro-batch admission window: hold the first idle-arriving request this long so bursts prefill together (0 = off)")
 	timeScale := flag.Float64("time-scale", 0,
 		"pace the scheduler against the wall clock: sleep sim-seconds x this factor per iteration (0 = run flat out)")
+	prefixCache := flag.Bool("prefix-cache", false,
+		"reuse KV blocks across requests sharing a prompt prefix (requests opt in by sending \"prompt\" token arrays)")
+	prefixCacheBlocks := flag.Int("prefix-cache-blocks", 0,
+		"bound on refcount-zero KV blocks kept warm per replica for prefix reuse (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -90,6 +96,7 @@ func main() {
 		srv, err := serve.New(serve.Config{
 			Engine: eng, QueueDepth: *queueDepth, MaxBatch: *maxBatch, Policy: policy,
 			PrefillChunkTokens: *prefillChunk, AdmissionWindow: *admitWindow, TimeScale: *timeScale,
+			PrefixCache: *prefixCache, PrefixCacheBlocks: *prefixCacheBlocks,
 		})
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
@@ -123,8 +130,15 @@ func main() {
 	if *prefillChunk > 0 {
 		chunkDesc = fmt.Sprintf("%d-token prefill chunks", *prefillChunk)
 	}
-	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s)",
-		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc)
+	cacheDesc := "prefix cache off"
+	if *prefixCache {
+		cacheDesc = "prefix cache on (unbounded)"
+		if *prefixCacheBlocks > 0 {
+			cacheDesc = fmt.Sprintf("prefix cache on (%d blocks)", *prefixCacheBlocks)
+		}
+	}
+	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s, %s)",
+		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc, cacheDesc)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"testing"
+)
+
+// The scheduler-path benchmarks behind CI's perf-regression job: one
+// full shared-prefix trace through the Stepper with the prefix cache
+// off and on. The cached variant must not regress against the uncached
+// one — reuse is supposed to remove work from the hottest path the
+// serving layer has.
+
+func benchmarkSharedPrefixTrace(b *testing.B, prefixCache bool) {
+	reqs := sharedPrefixTrace(16, 256, 32, 8, 0.05)
+	e := newPrefixTestEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := drivePrefixTrace(b, e, reqs, prefixCache, 64)
+		if prefixCache && sp.PrefixHits() == 0 {
+			b.Fatal("benchmark workload produced no prefix hits")
+		}
+	}
+}
+
+func BenchmarkStepperSharedPrefixUncached(b *testing.B) { benchmarkSharedPrefixTrace(b, false) }
+func BenchmarkStepperSharedPrefixCached(b *testing.B)   { benchmarkSharedPrefixTrace(b, true) }
+
+// BenchmarkStepperDecodeHeavy isolates the decode loop (allocator
+// AppendToken + cost model) that every serving configuration shares.
+func BenchmarkStepperDecodeHeavy(b *testing.B) {
+	e := newPrefixTestEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := NewStepper(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp.PackedPrefill = true
+		for id := 1; id <= 32; id++ {
+			if err := sp.Admit(Request{ID: id, PromptLen: 64, OutputLen: 64}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sp.Prefill()
+		for sp.InFlight() > 0 {
+			if _, _, err := sp.DecodeStep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sp.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"testing"
 )
@@ -259,7 +260,7 @@ func TestPreemptMidPrefill(t *testing.T) {
 	}
 
 	req, ok := sp.Preempt(r.ID)
-	if !ok || req != r {
+	if !ok || !reflect.DeepEqual(req, r) {
 		t.Fatalf("Preempt = %+v, %v; want original request", req, ok)
 	}
 	if got := sp.FreeBlocks(); got != freeBefore {

@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"zipserv/internal/gpu"
+	"zipserv/internal/kvcache"
+	"zipserv/internal/weights"
+)
+
+// prefixTokens builds a deterministic token stream; equal seeds agree
+// on every position, so slices of one seed are content-identical
+// prefixes.
+func prefixTokens(n, seed int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = seed*100003 + i*131 + 7
+	}
+	return out
+}
+
+// sharedPrefixTrace builds n requests whose prompts share a
+// prefixLen-token prefix and append a unique suffix each, arriving
+// `gap` virtual seconds apart (gap 0 = one burst).
+func sharedPrefixTrace(n, prefixLen, suffixLen, outputLen int, gap float64) []Request {
+	prefix := prefixTokens(prefixLen, 1)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		prompt := append(append([]int(nil), prefix...), prefixTokens(suffixLen, 1000+i)...)
+		reqs[i] = Request{
+			ID:             i + 1,
+			ArrivalSeconds: float64(i) * gap,
+			PromptLen:      len(prompt),
+			OutputLen:      outputLen,
+			Prompt:         prompt,
+		}
+	}
+	return reqs
+}
+
+func newPrefixTestEngine(t testing.TB) *Engine {
+	t.Helper()
+	model, err := weights.ByName("LLaMA3.1-8B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Model: model, Device: gpu.MustByName("RTX4090"), NumGPUs: 1, Backend: BackendZipServ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// drivePrefixTrace replays an arrival-ordered trace through a Stepper
+// (FIFO admission, head-of-line blocking) and returns the finished
+// metrics by ID plus the stepper for counter inspection.
+func drivePrefixTrace(t testing.TB, e *Engine, reqs []Request, prefixCache bool, chunk int) ([]RequestMetrics, *Stepper) {
+	t.Helper()
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.PackedPrefill = true
+	sp.PrefillChunkTokens = chunk
+	if prefixCache {
+		if err := sp.EnablePrefixCache(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var done []RequestMetrics
+	nextIdx := 0
+	for iter := 0; len(done) < len(reqs); iter++ {
+		if iter > 1<<20 {
+			t.Fatal("scheduler failed to make progress")
+		}
+		if sp.InFlight() == 0 && nextIdx < len(reqs) && reqs[nextIdx].ArrivalSeconds > sp.Clock() {
+			sp.AdvanceTo(reqs[nextIdx].ArrivalSeconds)
+		}
+		for nextIdx < len(reqs) && reqs[nextIdx].ArrivalSeconds <= sp.Clock() {
+			r := reqs[nextIdx]
+			if !sp.CanAdmitRequest(r) {
+				break
+			}
+			if err := sp.Admit(r); err != nil {
+				t.Fatal(err)
+			}
+			nextIdx++
+		}
+		done = append(done, drainStep(t, sp)...)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	return done, sp
+}
+
+func drainStep(t testing.TB, sp *Stepper) []RequestMetrics {
+	t.Helper()
+	sp.Prefill()
+	fin, _, err := sp.DecodeStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fin
+}
+
+// TestPrefixCacheOutputsIdentical: enabling the prefix cache changes
+// only timing, never what is produced — every request emits exactly
+// its output tokens in both modes, and two cached runs are
+// deterministic replicas.
+func TestPrefixCacheOutputsIdentical(t *testing.T) {
+	reqs := sharedPrefixTrace(12, 128, 24, 16, 0.02)
+	e := newPrefixTestEngine(t)
+
+	off, spOff := drivePrefixTrace(t, e, reqs, false, 64)
+	on, spOn := drivePrefixTrace(t, e, reqs, true, 64)
+	on2, _ := drivePrefixTrace(t, e, reqs, true, 64)
+
+	if len(off) != len(reqs) || len(on) != len(reqs) {
+		t.Fatalf("completed %d/%d (off) and %d/%d (on) requests", len(off), len(reqs), len(on), len(reqs))
+	}
+	if spOff.OutputTokens() != spOn.OutputTokens() {
+		t.Fatalf("output tokens differ: %d off vs %d on", spOff.OutputTokens(), spOn.OutputTokens())
+	}
+	for i := range on {
+		if on[i].ID != off[i].ID {
+			t.Fatalf("request set differs: %d vs %d", on[i].ID, off[i].ID)
+		}
+		if on2[i] != on[i] {
+			t.Fatalf("cached run not deterministic at request %d: %+v vs %+v", on[i].ID, on2[i], on[i])
+		}
+	}
+	if spOn.PrefixHits() == 0 {
+		t.Fatal("shared-prefix workload produced no prefix hits")
+	}
+}
+
+// TestPrefixCachePrefillTokenBound: on a workload where every request
+// shares a block-aligned prompt prefix and arrivals are spaced so each
+// admission sees the previous prompt committed, the total prefill
+// tokens computed must not exceed the unique prefix once plus each
+// request's suffix — the cache converts the shared recomputation into
+// reference claims.
+func TestPrefixCachePrefillTokenBound(t *testing.T) {
+	const (
+		n         = 10
+		prefixLen = 8 * kvcache.DefaultBlockTokens // block-aligned
+		suffixLen = 24
+		outputLen = 8
+	)
+	reqs := sharedPrefixTrace(n, prefixLen, suffixLen, outputLen, 5.0 /* generous spacing */)
+	e := newPrefixTestEngine(t)
+
+	_, sp := drivePrefixTrace(t, e, reqs, true, 0)
+	bound := int64(prefixLen + n*suffixLen)
+	if got := sp.PrefillTokens(); got > bound {
+		t.Fatalf("prefill computed %d tokens, want <= %d (unique prefix + suffixes)", got, bound)
+	}
+	if got := sp.PrefixTokensSaved(); got != int64((n-1)*prefixLen) {
+		t.Fatalf("PrefixTokensSaved = %d, want %d", got, (n-1)*prefixLen)
+	}
+	if got := sp.PrefixHits(); got != n-1 {
+		t.Fatalf("PrefixHits = %d, want %d", got, n-1)
+	}
+
+	// The cache-off run recomputes the prefix for every request.
+	_, spOff := drivePrefixTrace(t, e, reqs, false, 0)
+	if got, want := spOff.PrefillTokens(), int64(n*(prefixLen+suffixLen)); got != want {
+		t.Fatalf("cache-off prefill computed %d tokens, want %d", got, want)
+	}
+}
+
+// TestPrefixCacheTTFTStrictlyLower: skipping shared-prefix prefill
+// work must lower the TTFT median on the shared-prefix workload, not
+// merely match it.
+func TestPrefixCacheTTFTStrictlyLower(t *testing.T) {
+	reqs := sharedPrefixTrace(11, 256, 32, 8, 2.0)
+	e := newPrefixTestEngine(t)
+
+	off, _ := drivePrefixTrace(t, e, reqs, false, 0)
+	on, _ := drivePrefixTrace(t, e, reqs, true, 0)
+
+	p50 := func(ms []RequestMetrics) float64 {
+		ttfts := make([]float64, len(ms))
+		for i, m := range ms {
+			ttfts[i] = m.TTFT
+		}
+		sort.Float64s(ttfts)
+		return ttfts[len(ttfts)/2]
+	}
+	offP50, onP50 := p50(off), p50(on)
+	if !(onP50 < offP50) {
+		t.Fatalf("prefix-on TTFT p50 %.6fs not strictly lower than prefix-off %.6fs", onP50, offP50)
+	}
+	// Every cache-hit request individually beats its uncached twin.
+	for i := 1; i < len(on); i++ {
+		if on[i].CachedTokens == 0 {
+			t.Fatalf("request %d missed the cache on a fully shared prefix", on[i].ID)
+		}
+		if !(on[i].TTFT < off[i].TTFT) {
+			t.Fatalf("request %d TTFT %.6fs not lower than uncached %.6fs", on[i].ID, on[i].TTFT, off[i].TTFT)
+		}
+	}
+}
+
+// TestPrefixCacheChunkedComposition: prefix claims compose with
+// chunked prefill — the uncached suffix is chunk-budgeted, outputs are
+// complete, and the allocator closes clean for budgets spanning
+// single-token to monolithic.
+func TestPrefixCacheChunkedComposition(t *testing.T) {
+	reqs := sharedPrefixTrace(8, 64, 40, 6, 0.5)
+	e := newPrefixTestEngine(t)
+	for _, chunk := range []int{1, 7, 64, 0} {
+		done, sp := drivePrefixTrace(t, e, reqs, true, chunk)
+		if len(done) != len(reqs) {
+			t.Fatalf("chunk %d: completed %d/%d", chunk, len(done), len(reqs))
+		}
+		if sp.PrefixHits() == 0 {
+			t.Fatalf("chunk %d: no prefix hits", chunk)
+		}
+	}
+}
+
+// TestPrefixCacheResurrectionChargesCapacity is the regression test
+// for the over-admission bug: matched blocks parked in the
+// refcount-zero cached pool are counted by FreeBlocks as free
+// capacity, so claiming them must be charged like a fresh allocation,
+// not credited against the reservation — crediting them twice admits
+// a request whose reservation the remaining physical blocks cannot
+// back, and the violation then panics mid-prefill.
+func TestPrefixCacheResurrectionChargesCapacity(t *testing.T) {
+	const block = kvcache.DefaultBlockTokens
+	e := newPrefixTestEngine(t)
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.PackedPrefill = true
+	if err := sp.EnablePrefixCache(0); err != nil {
+		t.Fatal(err)
+	}
+	total := e.Plan().Blocks
+
+	// Warm the cache: a 6-block prompt runs to completion and parks
+	// its blocks in the refcount-zero cached pool.
+	prompt := prefixTokens(6*block, 11)
+	if err := sp.Admit(Request{ID: 1, PromptLen: len(prompt), OutputLen: 1, Prompt: prompt}); err != nil {
+		t.Fatal(err)
+	}
+	for sp.InFlight() > 0 {
+		drainStep(t, sp)
+	}
+
+	// A tokenless giant reserves all but 4 blocks (admitted, never
+	// prefilled, so the reservation is outstanding).
+	giant := (total - 4) * block
+	if err := sp.Admit(Request{ID: 2, PromptLen: giant - 1, OutputLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Footprint 10 blocks, 6 of them matching the parked prefix:
+	// crediting the match against the reservation (10−6=4 ≤ 4 free)
+	// would admit, but resurrecting the 6 cached blocks leaves only
+	// 4−... <0 physical blocks behind the combined reservations. The
+	// admission must be refused.
+	suffix := append(append([]int(nil), prompt...), prefixTokens(2*block, 99)...)
+	r := Request{ID: 3, PromptLen: len(suffix), OutputLen: 2 * block, Prompt: suffix}
+	if sp.CanAdmitRequest(r) {
+		t.Fatal("CanAdmitRequest accepted a request whose reservation the physical blocks cannot back")
+	}
+	if err := sp.Admit(r); err == nil {
+		t.Fatal("Admit accepted a request whose reservation the physical blocks cannot back")
+	}
+
+	// Completing the giant (and the workload) must stay violation-free.
+	for sp.InFlight() > 0 {
+		drainStep(t, sp)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixCacheLiveShareIsFree: the flip side — matched blocks still
+// referenced by a live sequence consume no capacity, so the same
+// tight-capacity admission succeeds when the prefix owner is alive.
+func TestPrefixCacheLiveShareIsFree(t *testing.T) {
+	const block = kvcache.DefaultBlockTokens
+	e := newPrefixTestEngine(t)
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.PackedPrefill = true
+	if err := sp.EnablePrefixCache(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The prefix owner stays in flight (long output), holding its 6
+	// prompt blocks live while the trie advertises them.
+	prompt := prefixTokens(6*block, 11)
+	if err := sp.Admit(Request{ID: 1, PromptLen: len(prompt), OutputLen: 4 * block, Prompt: prompt}); err != nil {
+		t.Fatal(err)
+	}
+	sp.Prefill() // commit the prompt blocks; owner now decoding
+
+	// Reserve all but 4 of the remaining blocks.
+	free := sp.FreeBlocks()
+	if err := sp.Admit(Request{ID: 2, PromptLen: (free-4)*block - 1, OutputLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Footprint 10 blocks with 6 supplied by the live owner: only the
+	// 4-block suffix+output reservation is charged, and it fits.
+	suffix := append(append([]int(nil), prompt...), prefixTokens(2*block, 99)...)
+	r := Request{ID: 3, PromptLen: len(suffix), OutputLen: 2 * block, Prompt: suffix}
+	if !sp.CanAdmitRequest(r) {
+		t.Fatal("CanAdmitRequest refused a live-shared admission that fits")
+	}
+	if err := sp.Admit(r); err != nil {
+		t.Fatal(err)
+	}
+	for sp.InFlight() > 0 {
+		drainStep(t, sp)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixCacheFullPromptCached: a request whose whole block-aligned
+// prompt is cached still computes its final prompt token (the position
+// that samples the first output token) and completes.
+func TestPrefixCacheFullPromptCached(t *testing.T) {
+	prompt := prefixTokens(4*kvcache.DefaultBlockTokens, 9)
+	reqs := []Request{
+		{ID: 1, ArrivalSeconds: 0, PromptLen: len(prompt), OutputLen: 4, Prompt: prompt},
+		{ID: 2, ArrivalSeconds: 10, PromptLen: len(prompt), OutputLen: 4, Prompt: prompt},
+	}
+	e := newPrefixTestEngine(t)
+	done, sp := drivePrefixTrace(t, e, reqs, true, 0)
+	if len(done) != 2 {
+		t.Fatalf("completed %d/2", len(done))
+	}
+	if want := len(prompt) - 1; done[1].CachedTokens != want {
+		t.Fatalf("CachedTokens = %d, want %d (capped one short of the full prompt)", done[1].CachedTokens, want)
+	}
+	// Exactly one prompt token recomputed for the hit.
+	if got, want := sp.PrefillTokens(), int64(len(prompt)+1); got != want {
+		t.Fatalf("prefill computed %d tokens, want %d", got, want)
+	}
+}

@@ -13,6 +13,13 @@ type Request struct {
 	ArrivalSeconds float64
 	PromptLen      int
 	OutputLen      int
+
+	// Prompt carries the prompt's token ids. Optional: the simulator
+	// prices work from PromptLen alone, but a prefix-cache-enabled
+	// Stepper content-addresses these tokens to reuse KV blocks across
+	// requests sharing a prompt prefix. When non-empty its length must
+	// equal PromptLen. Requests without tokens never share.
+	Prompt []int
 }
 
 // RequestMetrics reports per-request serving quality.
@@ -26,6 +33,11 @@ type RequestMetrics struct {
 	TTFT    float64 // time to first token (FirstToken − Arrival)
 	TPOT    float64 // time per output token after the first (decode cadence)
 	Latency float64 // Finished − Arrival
+
+	// CachedTokens is how many prompt tokens were served from the
+	// prefix cache instead of being prefilled (0 when caching is off
+	// or nothing matched).
+	CachedTokens int
 }
 
 // TraceStats aggregates a continuous-batching run.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -160,7 +161,7 @@ func TestSyntheticTrace(t *testing.T) {
 	// Deterministic.
 	tr2 := SyntheticTrace(50, 10, 128, 64, 1)
 	for i := range tr {
-		if tr[i] != tr2[i] {
+		if !reflect.DeepEqual(tr[i], tr2[i]) {
 			t.Fatal("trace generation not deterministic")
 		}
 	}

@@ -46,6 +46,8 @@ type Stepper struct {
 	e   *Engine
 	mgr *kvcache.Manager
 
+	prefixCache bool // EnablePrefixCache sets it
+
 	now      float64
 	admitted []*sequence // admitted, prefilling (possibly mid-chunk)
 	active   []*sequence // prefilled, decoding
@@ -66,7 +68,7 @@ type sequence struct {
 	m         RequestMetrics
 	remaining int // output tokens still to produce
 	ctx       int // context length once prefilled (prompt, then +1 per decode)
-	prefilled int // prompt tokens prefilled so far (chunk progress)
+	prefilled int // prompt tokens prefilled so far (cached prefix + chunk progress)
 	reserved  int // blocks reserved beyond those allocated
 }
 
@@ -129,34 +131,160 @@ func (s *Stepper) PrefillTokens() int64 { return s.prefillTokens }
 // Gaps across an empty batch (idle stretches) do not count.
 func (s *Stepper) MaxDecodeGap() float64 { return s.maxDecodeGap }
 
+// EnablePrefixCache turns on cross-request KV prefix reuse for
+// requests that carry prompt tokens: admission claims content-matched
+// prefix blocks by bumping refcounts instead of allocating, and
+// prefill starts at the first uncached position. capBlocks bounds the
+// refcount-zero blocks kept parked for reuse (0 = unbounded). Must be
+// called before the first admission.
+func (s *Stepper) EnablePrefixCache(capBlocks int) error {
+	if err := s.mgr.EnablePrefixCache(capBlocks); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	s.prefixCache = true
+	return nil
+}
+
+// PrefixCacheEnabled reports whether cross-request prefix reuse is on.
+func (s *Stepper) PrefixCacheEnabled() bool { return s.prefixCache }
+
+// PrefixHits returns the number of admissions that reused at least one
+// cached prefix block.
+func (s *Stepper) PrefixHits() int64 { return s.mgr.PrefixHits() }
+
+// PrefixTokensSaved returns the total prompt tokens served from the
+// prefix cache instead of being re-prefilled.
+func (s *Stepper) PrefixTokensSaved() int64 { return s.mgr.PrefixTokensSaved() }
+
+// CachedKVBlocks returns the refcount-zero blocks parked in the prefix
+// cache (free capacity that is also warm prefix content).
+func (s *Stepper) CachedKVBlocks() int { return s.mgr.CachedBlocks() }
+
+// SharedKVBlocks returns the physical blocks referenced by more than
+// one in-flight sequence — capacity deduplication is saving right now.
+// A replica router should score load by uniquely-owned blocks, which
+// FreeBlocks already reflects: shared blocks are counted once.
+func (s *Stepper) SharedKVBlocks() int { return s.mgr.SharedBlocks() }
+
+// reservationFor returns the blocks to reserve for a request: its full
+// prompt+output footprint minus the whole blocks a cached prefix match
+// supplies by reference. A partially consumed tail match is not
+// discounted — its copy-on-write replacement costs one fresh block, so
+// only ⌊matched/block⌋ blocks are truly free capacity.
+func (s *Stepper) reservationFor(r Request, matched int) int {
+	return kvcache.BlocksFor(r.PromptLen+r.OutputLen, kvcache.DefaultBlockTokens) -
+		matched/kvcache.DefaultBlockTokens
+}
+
+// Lookup returns the cached-prefix token match for a request (0 when
+// caching is off or the request carries no tokens).
+func (s *Stepper) Lookup(r Request) int {
+	matched, _ := s.lookupCost(r)
+	return matched
+}
+
+// lookupCost returns the cached-prefix match plus how many matched
+// blocks would be resurrected from the refcount-zero cached pool —
+// blocks FreeBlocks counts as free capacity, so admission must charge
+// them like fresh allocations (crediting them twice would over-admit
+// and leave the reservation physically unbacked).
+func (s *Stepper) lookupCost(r Request) (matched, resurrect int) {
+	if !s.prefixCache || len(r.Prompt) == 0 {
+		return 0, 0
+	}
+	return s.mgr.LookupCost(r.Prompt)
+}
+
+// fits reports whether a request with the given prefix match can be
+// granted capacity right now: either its full uncredited footprint
+// fits (sharing can then only help), or the uncached reservation plus
+// the cached-pool resurrections fit. The resurrect charge is what
+// keeps every outstanding reservation backed by physical blocks.
+func (s *Stepper) fits(r Request, matched, resurrect int) bool {
+	free := s.mgr.FreeBlocks() - s.reserved
+	if kvcache.BlocksFor(r.PromptLen+r.OutputLen, kvcache.DefaultBlockTokens) <= free {
+		return true
+	}
+	return s.reservationFor(r, matched)+resurrect <= free
+}
+
 // CanAdmit reports whether a prompt+output reservation of the given
 // lengths fits in the KV blocks that are currently free and
-// unreserved.
+// unreserved. It assumes no prefix reuse; CanAdmitRequest also credits
+// a request's cached-prefix match.
 func (s *Stepper) CanAdmit(promptLen, outputLen int) bool {
 	need := kvcache.BlocksFor(promptLen+outputLen, kvcache.DefaultBlockTokens)
 	return need <= s.mgr.FreeBlocks()-s.reserved
 }
 
+// CanAdmitRequest reports whether the request fits in the free and
+// unreserved KV blocks, after crediting the prefix-cache blocks its
+// prompt tokens already match (matches resurrected from the cached
+// pool are charged, not credited — they consume free capacity). The
+// trie walk (which hashes every matched block) runs only when the
+// full uncredited footprint does not already fit.
+func (s *Stepper) CanAdmitRequest(r Request) bool {
+	if s.CanAdmit(r.PromptLen, r.OutputLen) {
+		return true
+	}
+	matched, resurrect := s.lookupCost(r)
+	return s.fits(r, matched, resurrect)
+}
+
+// CachedTokensOf returns how many prompt tokens an in-flight sequence
+// was served from the prefix cache (0 if the id is unknown). The
+// scheduler annotates its admitted event with this instead of
+// re-walking the trie; the sequence just admitted is at the back of
+// the prefill queue, so the reverse scan finds it first.
+func (s *Stepper) CachedTokensOf(id int) int {
+	for i := len(s.admitted) - 1; i >= 0; i-- {
+		if s.admitted[i].req.ID == id {
+			return s.admitted[i].m.CachedTokens
+		}
+	}
+	for _, q := range s.active {
+		if q.req.ID == id {
+			return q.m.CachedTokens
+		}
+	}
+	return 0
+}
+
 // Admit grants the request KV capacity: every block of its full
-// prompt+output footprint is reserved up front, so the sequence can
-// never fail mid-flight; the blocks themselves are claimed lazily as
-// prefill chunks and decode tokens consume them. The request joins the
-// prefill queue; its Admitted timestamp is the current virtual clock.
+// prompt+output footprint is either reserved up front or claimed from
+// the prefix cache by reference, so the sequence can never fail
+// mid-flight; the reserved blocks are claimed lazily as prefill chunks
+// and decode tokens consume them. With a prefix-cache match, prefill
+// starts at the first uncached position. The request joins the prefill
+// queue; its Admitted timestamp is the current virtual clock.
 func (s *Stepper) Admit(r Request) error {
 	if r.PromptLen <= 0 || r.OutputLen <= 0 {
 		return fmt.Errorf("engine: request %d invalid (%+v)", r.ID, r)
 	}
-	if !s.CanAdmit(r.PromptLen, r.OutputLen) {
+	if len(r.Prompt) > 0 && len(r.Prompt) != r.PromptLen {
+		return fmt.Errorf("engine: request %d carries %d prompt tokens but PromptLen %d",
+			r.ID, len(r.Prompt), r.PromptLen)
+	}
+	matched, resurrect := s.lookupCost(r)
+	if !s.fits(r, matched, resurrect) {
 		return fmt.Errorf("engine: request %d (%d tokens) does not fit in free KV capacity",
 			r.ID, r.PromptLen+r.OutputLen)
 	}
-	res := kvcache.BlocksFor(r.PromptLen+r.OutputLen, kvcache.DefaultBlockTokens)
+	res := s.reservationFor(r, matched)
+	if matched > 0 {
+		claimed, err := s.mgr.ClaimPrefix(r.ID, r.Prompt)
+		if err != nil {
+			return fmt.Errorf("engine: request %d prefix claim: %w", r.ID, err)
+		}
+		matched = claimed // the walk is deterministic; claimed == matched
+	}
 	s.reserved += res
 	s.admitted = append(s.admitted, &sequence{
 		req:       r,
-		m:         RequestMetrics{ID: r.ID, Arrival: r.ArrivalSeconds, Admitted: s.now},
+		m:         RequestMetrics{ID: r.ID, Arrival: r.ArrivalSeconds, Admitted: s.now, CachedTokens: matched},
 		remaining: r.OutputLen,
 		ctx:       r.PromptLen,
+		prefilled: matched,
 		reserved:  res,
 	})
 	return nil
@@ -164,7 +292,17 @@ func (s *Stepper) Admit(r Request) error {
 
 // FreeBlocks returns the KV blocks currently free and unreserved — the
 // admission headroom a scheduling policy or replica router sees.
-func (s *Stepper) FreeBlocks() int { return s.mgr.FreeBlocks() - s.reserved }
+// Clamped at zero: a fast-path admission of an exactly fitting, fully
+// cached prompt can leave the reservation one block ahead of the
+// reclaimable pool until its first copy-on-write release returns the
+// shared tail (no physical shortfall — the COW pop and release happen
+// in the same Extend), and a negative gauge would skew router ranking.
+func (s *Stepper) FreeBlocks() int {
+	if free := s.mgr.FreeBlocks() - s.reserved; free > 0 {
+		return free
+	}
+	return 0
+}
 
 // Preempt evicts the in-flight sequence with the given id, releasing
 // every KV block it holds (allocated and reserved) and discounting the
@@ -247,9 +385,11 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 
 	// Claim the chunk tokens' KV blocks out of each sequence's
 	// reservation. The conservative admission reservation guarantees
-	// the physical blocks are there.
+	// the physical blocks are there. Consumption is measured by the
+	// allocator's pop counter, which — unlike block-table growth — also
+	// charges the copy-on-write replacement of a shared tail block.
 	for i, q := range touched {
-		before := kvcache.BlocksFor(q.prefilled, kvcache.DefaultBlockTokens)
+		pops := s.mgr.Pops()
 		var err error
 		if q.prefilled == 0 {
 			err = s.mgr.Allocate(q.req.ID, chunks[i].Tokens)
@@ -261,14 +401,28 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 			panic(fmt.Sprintf("engine: reservation violated prefilling request %d: %v", q.req.ID, err))
 		}
 		q.prefilled += chunks[i].Tokens
-		claimed := kvcache.BlocksFor(q.prefilled, kvcache.DefaultBlockTokens) - before
+		claimed := int(s.mgr.Pops() - pops)
 		q.reserved -= claimed
 		s.reserved -= claimed
+		if q.reserved < 0 {
+			panic(fmt.Sprintf("engine: request %d claimed past its reservation", q.req.ID))
+		}
 		s.prefillTokens += int64(chunks[i].Tokens)
+		if s.prefixCache && len(q.req.Prompt) > 0 {
+			// Advertise the now-complete full prompt blocks so later
+			// requests sharing this prefix reuse them mid-prefill.
+			if err := s.mgr.CommitPrefix(q.req.ID, q.req.Prompt, q.prefilled); err != nil {
+				panic(fmt.Sprintf("engine: prefix commit for request %d: %v", q.req.ID, err))
+			}
+		}
 	}
 
 	var elapsed float64
-	if chunked || s.PackedPrefill {
+	// The prefix cache forces token-packed pricing like chunking does:
+	// a padded request-level batch cannot start mid-prompt, and pricing
+	// a cached prefix's tokens as computed would silently erase the
+	// TTFT win the cache exists for.
+	if chunked || s.PackedPrefill || s.prefixCache {
 		elapsed = s.e.ChunkedPrefillTime(chunks)
 	} else {
 		maxPrompt := 0
@@ -335,13 +489,19 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 	next := s.active[:0]
 	for _, q := range s.active {
 		if q.remaining > 0 {
+			pops := s.mgr.Pops()
 			if err := s.mgr.AppendToken(q.req.ID); err != nil {
 				return nil, elapsed, fmt.Errorf("engine: reservation violated for request %d: %w", q.req.ID, err)
 			}
-			// Consume reservation as real blocks are claimed.
-			if used := kvcache.BlocksFor(q.ctx+1, kvcache.DefaultBlockTokens); used > kvcache.BlocksFor(q.ctx, kvcache.DefaultBlockTokens) && q.reserved > 0 {
-				q.reserved--
-				s.reserved--
+			// Consume reservation as real blocks are claimed (the pop
+			// counter also charges copy-on-write block replacements).
+			// Claiming past the reservation is an accounting invariant
+			// violation and must fail loudly, as the prefill path does.
+			claimed := int(s.mgr.Pops() - pops)
+			q.reserved -= claimed
+			s.reserved -= claimed
+			if q.reserved < 0 {
+				return nil, elapsed, fmt.Errorf("engine: request %d claimed past its reservation", q.req.ID)
 			}
 			q.ctx++
 			q.remaining--

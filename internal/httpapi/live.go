@@ -31,7 +31,12 @@ import (
 // "priority" ("interactive", the default, or "batch", consumed by the
 // priority policy) and "ttft_deadline_ms" (a first-token SLO consumed
 // by the slo policy). Both are ignored under the default FIFO policy,
-// so requests without them behave exactly as before.
+// so requests without them behave exactly as before. A "prompt" token
+// array opts the request into KV prefix reuse on a deployment started
+// with the prefix cache: its admitted event and final result carry
+// "cached_tokens", and /v1/stats reports "prefix_hits" and
+// "prefix_tokens_saved" (router deployments aggregate them
+// fleet-wide).
 //
 // With "stream": true the response is NDJSON: one line per scheduler
 // event (admitted, first_token, preempted, finished) followed by a
@@ -53,6 +58,13 @@ type GenerateRequest struct {
 	PromptLen int  `json:"prompt_len"`
 	OutputLen int  `json:"output_len"`
 	Stream    bool `json:"stream"`
+	// Prompt optionally carries the prompt's token ids. On a
+	// prefix-cache-enabled deployment, requests sharing a prompt
+	// prefix reuse each other's KV blocks and skip the shared prefill
+	// work; the response's cached_tokens reports the reuse. prompt_len
+	// may be omitted (defaulted to len(prompt)) but must match when
+	// both are set.
+	Prompt []int `json:"prompt,omitempty"`
 	// Priority is the request's class: "interactive" (default) or
 	// "batch". Consumed by the priority scheduling policy.
 	Priority string `json:"priority,omitempty"`
@@ -121,6 +133,7 @@ func handleGenerate(live serve.Backend) http.HandlerFunc {
 		tk, err := live.Submit(serve.Request{
 			PromptLen:    req.PromptLen,
 			OutputLen:    req.OutputLen,
+			Prompt:       req.Prompt,
 			Arrival:      serve.ArrivalNow,
 			Class:        class,
 			TTFTDeadline: req.TTFTDeadlineMs / 1000,

@@ -1,0 +1,92 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"zipserv/internal/serve"
+)
+
+// promptTokens builds a deterministic token stream; equal seeds agree
+// on every position.
+func promptTokens(n, seed int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = seed*100003 + i*131 + 7
+	}
+	return out
+}
+
+// TestGeneratePrefixCache: on a prefix-cache deployment, a repeated
+// prompt reports cached_tokens in its result and the stats endpoint
+// counts the hit and the tokens saved.
+func TestGeneratePrefixCache(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8, PrefixCache: true})
+	prompt := promptTokens(96, 1)
+
+	generate := func() serve.Result {
+		t.Helper()
+		resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+			Prompt: prompt, OutputLen: 8,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var res serve.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := generate()
+	if first.PromptLen != len(prompt) {
+		t.Fatalf("prompt_len defaulted to %d, want %d", first.PromptLen, len(prompt))
+	}
+	if first.CachedTokens != 0 {
+		t.Fatalf("first request reported %d cached tokens", first.CachedTokens)
+	}
+
+	second := generate()
+	if second.CachedTokens == 0 {
+		t.Fatal("repeated prompt reported no cached tokens")
+	}
+
+	resp, body := doJSON(t, srv, http.MethodGet, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %s", resp.StatusCode, body)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.PrefixCacheEnabled {
+		t.Fatalf("stats prefix_cache_enabled false: %s", body)
+	}
+	if st.PrefixHits < 1 || st.PrefixTokensSaved < int64(second.CachedTokens) {
+		t.Fatalf("stats count hits=%d saved=%d, want >=1 and >=%d: %s",
+			st.PrefixHits, st.PrefixTokensSaved, second.CachedTokens, body)
+	}
+}
+
+// TestGeneratePromptLenMismatch: contradicting prompt_len and the
+// prompt token array is a client error, reported as invalid_request.
+func TestGeneratePromptLenMismatch(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{QueueDepth: 8, PrefixCache: true})
+	resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		PromptLen: 5, Prompt: promptTokens(96, 1), OutputLen: 8,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != ErrCodeInvalidRequest {
+		t.Fatalf("error code %q, want %q", e.Error.Code, ErrCodeInvalidRequest)
+	}
+}

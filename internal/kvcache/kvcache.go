@@ -28,11 +28,20 @@ type Config struct {
 // Manager allocates KV blocks to sequences. It is not safe for
 // concurrent use; the serving engine serialises scheduler decisions,
 // as vLLM's does.
+//
+// With EnablePrefixCache, blocks become reference-counted and
+// content-addressed so requests sharing a prompt prefix share physical
+// blocks (see prefix.go); without it, every block has exactly one
+// owner and behaviour is unchanged.
 type Manager struct {
 	cfg       Config
 	freeList  []int
 	tables    map[int][]int // seqID → block table
 	seqTokens map[int]int   // seqID → token count
+
+	prefix *prefixIndex // nil = prefix caching off
+	refcnt []int        // per-block table references (prefix mode only)
+	pops   int64        // lifetime physical block claims
 }
 
 // NewManager builds a manager with all blocks free.
@@ -56,11 +65,25 @@ func NewManager(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// FreeBlocks returns the number of unallocated blocks.
-func (m *Manager) FreeBlocks() int { return len(m.freeList) }
+// FreeBlocks returns the number of blocks available to allocations:
+// truly free blocks plus refcount-zero cached prefix blocks, which are
+// reclaimed LRU-first under pressure.
+func (m *Manager) FreeBlocks() int {
+	n := len(m.freeList)
+	if m.prefix != nil {
+		n += len(m.prefix.cached)
+	}
+	return n
+}
 
-// UsedBlocks returns the number of allocated blocks.
-func (m *Manager) UsedBlocks() int { return m.cfg.TotalBlocks - len(m.freeList) }
+// UsedBlocks returns the number of blocks owned by live sequences.
+func (m *Manager) UsedBlocks() int { return m.cfg.TotalBlocks - m.FreeBlocks() }
+
+// Pops returns the lifetime count of physical block claims (allocation
+// and copy-on-write). Schedulers difference it around a mutation to
+// learn the real capacity consumed — under prefix sharing the block
+// table's length alone undercounts copy-on-write claims.
+func (m *Manager) Pops() int64 { return m.pops }
 
 // Sequences returns the ids of live sequences in ascending order.
 func (m *Manager) Sequences() []int {
@@ -102,12 +125,15 @@ func (m *Manager) Allocate(seqID, numTokens int) error {
 		return fmt.Errorf("kvcache: sequence %d needs positive token count, got %d", seqID, numTokens)
 	}
 	need := BlocksFor(numTokens, m.cfg.BlockTokens)
-	if need > len(m.freeList) {
-		return fmt.Errorf("kvcache: need %d blocks for %d tokens, only %d free", need, numTokens, len(m.freeList))
+	if need > m.FreeBlocks() {
+		return fmt.Errorf("kvcache: need %d blocks for %d tokens, only %d free", need, numTokens, m.FreeBlocks())
 	}
 	table := make([]int, need)
 	for i := range table {
 		table[i] = m.pop()
+		if m.refcnt != nil {
+			m.refcnt[table[i]] = 1
+		}
 	}
 	m.tables[seqID] = table
 	m.seqTokens[seqID] = numTokens
@@ -133,57 +159,92 @@ func (m *Manager) Extend(seqID, n int) error {
 	}
 	tokens := m.seqTokens[seqID] + n
 	need := BlocksFor(tokens, m.cfg.BlockTokens) - len(table)
-	if need > len(m.freeList) {
+	cow := m.cowNeeded(seqID)
+	total := need
+	if cow {
+		total++ // the private copy of the shared write-target block
+	}
+	if total > m.FreeBlocks() {
 		return fmt.Errorf("kvcache: need %d more blocks to extend sequence %d by %d tokens, only %d free",
-			need, seqID, n, len(m.freeList))
+			total, seqID, n, m.FreeBlocks())
+	}
+	if cow {
+		// The growth writes into a partially filled block that is
+		// shared (or advertised by the prefix trie): copy it first so
+		// shared prefix content is never mutated.
+		m.copyOnWrite(seqID)
+		table = m.tables[seqID]
 	}
 	for i := 0; i < need; i++ {
-		table = append(table, m.pop())
+		b := m.pop()
+		if m.refcnt != nil {
+			m.refcnt[b] = 1
+		}
+		table = append(table, b)
 	}
 	m.tables[seqID] = table
 	m.seqTokens[seqID] = tokens
 	return nil
 }
 
-// Free releases all blocks of a sequence.
+// Free releases a finished or preempted sequence: every block drops
+// one reference. Without prefix caching that returns each block to the
+// free list; with it, blocks still referenced by other sequences stay
+// alive, and blocks reaching refcount zero park in the cached pool
+// while the trie advertises their content.
 func (m *Manager) Free(seqID int) error {
 	table, ok := m.tables[seqID]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
-	m.freeList = append(m.freeList, table...)
+	if m.prefix != nil {
+		for _, b := range table {
+			m.releaseBlock(b)
+		}
+		delete(m.prefix.committed, seqID)
+	} else {
+		m.freeList = append(m.freeList, table...)
+	}
 	delete(m.tables, seqID)
 	delete(m.seqTokens, seqID)
 	return nil
 }
 
+// pop claims one physical block, reclaiming LRU cached prefix blocks
+// when the free list is dry. Callers check FreeBlocks first.
 func (m *Manager) pop() int {
+	if len(m.freeList) == 0 && m.prefix != nil {
+		for len(m.freeList) == 0 {
+			if !m.evictOne() {
+				break
+			}
+		}
+	}
 	b := m.freeList[len(m.freeList)-1]
 	m.freeList = m.freeList[:len(m.freeList)-1]
+	m.pops++
 	return b
 }
 
-// CheckInvariants verifies the allocator's safety properties: no block
-// is owned twice (across tables and the free list) and every block is
-// accounted for. Tests and the engine's failure-injection suite call
-// this after every mutation batch.
+// CheckInvariants verifies the allocator's safety properties and every
+// block is accounted for. Without prefix caching no block may be owned
+// twice across tables and the free list; with it, the stored refcounts
+// must equal the true table reference counts, free/cached/owned must
+// partition the block space, and cached blocks must be refcount-zero
+// and trie-advertised — i.e. no block is ever freed while referenced.
+// Tests and the engine's failure-injection suite call this after every
+// mutation batch.
 func (m *Manager) CheckInvariants() error {
-	seen := make(map[int]string, m.cfg.TotalBlocks)
-	for _, b := range m.freeList {
-		if owner, dup := seen[b]; dup {
-			return fmt.Errorf("kvcache: block %d on free list and owned by %s", b, owner)
-		}
-		seen[b] = "free-list"
-	}
+	refs := make(map[int]int, m.cfg.TotalBlocks)
 	for id, table := range m.tables {
 		for _, b := range table {
-			if owner, dup := seen[b]; dup {
-				return fmt.Errorf("kvcache: block %d double-owned (%s and seq %d)", b, owner, id)
-			}
 			if b < 0 || b >= m.cfg.TotalBlocks {
 				return fmt.Errorf("kvcache: block %d out of range", b)
 			}
-			seen[b] = fmt.Sprintf("seq %d", id)
+			refs[b]++
+			if m.prefix == nil && refs[b] > 1 {
+				return fmt.Errorf("kvcache: block %d double-owned without prefix sharing", b)
+			}
 		}
 		need := BlocksFor(m.seqTokens[id], m.cfg.BlockTokens)
 		if need != len(table) {
@@ -191,8 +252,66 @@ func (m *Manager) CheckInvariants() error {
 				id, len(table), m.seqTokens[id], need)
 		}
 	}
-	if len(seen) != m.cfg.TotalBlocks {
-		return fmt.Errorf("kvcache: %d blocks tracked, want %d", len(seen), m.cfg.TotalBlocks)
+	for _, b := range m.freeList {
+		if refs[b] > 0 {
+			return fmt.Errorf("kvcache: block %d on free list while referenced %d times", b, refs[b])
+		}
+		refs[b]-- // mark free: -1 distinguishes from unseen
+		if refs[b] < -1 {
+			return fmt.Errorf("kvcache: block %d on free list twice", b)
+		}
+	}
+
+	if m.prefix == nil {
+		if len(refs) != m.cfg.TotalBlocks {
+			return fmt.Errorf("kvcache: %d blocks tracked, want %d", len(refs), m.cfg.TotalBlocks)
+		}
+		return nil
+	}
+
+	tracked, shared := 0, 0
+	for b := 0; b < m.cfg.TotalBlocks; b++ {
+		want := refs[b]
+		if want < 0 {
+			want = 0 // free-listed
+		}
+		if m.refcnt[b] != want {
+			return fmt.Errorf("kvcache: block %d refcount %d, tables reference it %d times", b, m.refcnt[b], want)
+		}
+		if want > 1 {
+			shared++
+		}
+		node, parked := m.prefix.cached[b]
+		if parked {
+			if want != 0 {
+				return fmt.Errorf("kvcache: block %d cached while referenced %d times", b, want)
+			}
+			if m.prefix.byBlock[b] == nil || node.block != b {
+				return fmt.Errorf("kvcache: cached block %d not advertised by the trie", b)
+			}
+		}
+		if _, seen := refs[b]; seen || parked {
+			tracked++
+		}
+	}
+	for b, node := range m.prefix.byBlock {
+		if node.block != b {
+			return fmt.Errorf("kvcache: trie node for block %d points at block %d", b, node.block)
+		}
+		if node.parent == nil || node.parent.children[node.key] != node {
+			return fmt.Errorf("kvcache: trie node for block %d detached from its parent", b)
+		}
+		if m.refcnt[b] == 0 {
+			if _, parked := m.prefix.cached[b]; !parked {
+				return fmt.Errorf("kvcache: registered block %d unreferenced but not cached (leaked)", b)
+			}
+		}
+	}
+	if tracked != m.cfg.TotalBlocks {
+		return fmt.Errorf("kvcache: %d blocks tracked, want %d", tracked, m.cfg.TotalBlocks)
+	}
+	if m.prefix.shared != shared {
+		return fmt.Errorf("kvcache: shared-block counter %d, true count %d", m.prefix.shared, shared)
 	}
 	return nil
 }

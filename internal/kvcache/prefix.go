@@ -1,0 +1,415 @@
+package kvcache
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Prefix caching (RadixAttention / vLLM automatic-prefix-caching
+// style): prompt KV blocks are content-addressed, so requests sharing
+// a prompt prefix (system prompts, few-shot templates, replayed
+// traces) reuse the blocks an earlier request already computed instead
+// of re-prefilling them. A physical block then has a reference count —
+// the number of sequence block tables pointing at it — and a block
+// whose count drops to zero is not returned to the free list but
+// parked in an LRU cached pool, still indexed by the prefix trie, so a
+// later identical prompt can resurrect it with a refcount bump.
+// Allocation pressure reclaims cached blocks LRU-first, preferring
+// trie leaves so interior prefix chains stay matchable.
+//
+// Sharing is copy-on-write: writes only ever land in a sequence's last,
+// partially filled block, and Extend replaces that block with a private
+// copy before growing whenever it is shared (refcount > 1) or still
+// advertised by the trie. Full interior blocks are immutable once
+// written, so they are shared freely without copies.
+
+// prefixNode is one block of cached prompt content in the prefix trie.
+// The path from the root to a node spells a block-aligned prompt
+// prefix; children are keyed by the exact token content of the next
+// block, so matching is collision-free content addressing.
+type prefixNode struct {
+	parent   *prefixNode
+	children map[string]*prefixNode
+	key      string // content key in parent.children ("" for the root)
+	block    int    // physical block holding this content (a full block)
+	lastUse  int64  // LRU tick of the last claim/commit
+}
+
+// prefixIndex is the Manager's prefix-cache state.
+type prefixIndex struct {
+	root      *prefixNode
+	byBlock   map[int]*prefixNode // registered blocks (owned or cached)
+	cached    map[int]*prefixNode // refcount-zero registered blocks (reclaimable)
+	committed map[int]commitMark  // seqID → deepest committed trie position
+	cap       int                 // max cached blocks retained (0 = unbounded)
+	tick      int64
+	shared    int // blocks with refcount > 1, maintained on transitions
+
+	hits        int64 // ClaimPrefix calls that matched ≥ 1 block
+	tokensSaved int64 // prompt tokens served from cache
+	evictions   int64 // cached blocks reclaimed under pressure or cap
+	cowCopies   int64 // shared blocks copied before a write
+}
+
+// commitMark remembers how deep a sequence's prompt has already been
+// committed into the trie, so per-chunk CommitPrefix calls resume the
+// walk instead of re-hashing every block from the root each time.
+type commitMark struct {
+	node *prefixNode
+	full int // full blocks committed so far
+}
+
+// contentKey maps a block's token content to an exact map key; the Go
+// map hashes it, giving content-addressed lookup without collisions.
+func contentKey(tokens []int) string {
+	b := make([]byte, 8*len(tokens))
+	for i, t := range tokens {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(t))
+	}
+	return string(b)
+}
+
+// EnablePrefixCache turns on cross-request prefix reuse. capBlocks
+// bounds how many refcount-zero blocks the cache may keep parked
+// (0 = unbounded: every free block is a candidate prefix block). It
+// must be called before any allocation.
+func (m *Manager) EnablePrefixCache(capBlocks int) error {
+	if capBlocks < 0 {
+		return fmt.Errorf("kvcache: prefix cache capacity %d must be non-negative", capBlocks)
+	}
+	if len(m.tables) != 0 || len(m.freeList) != m.cfg.TotalBlocks {
+		return fmt.Errorf("kvcache: prefix cache must be enabled on an empty manager")
+	}
+	m.prefix = &prefixIndex{
+		root:      &prefixNode{children: make(map[string]*prefixNode), block: -1},
+		byBlock:   make(map[int]*prefixNode),
+		cached:    make(map[int]*prefixNode),
+		committed: make(map[int]commitMark),
+		cap:       capBlocks,
+	}
+	m.refcnt = make([]int, m.cfg.TotalBlocks)
+	return nil
+}
+
+// PrefixCacheEnabled reports whether cross-request prefix reuse is on.
+func (m *Manager) PrefixCacheEnabled() bool { return m.prefix != nil }
+
+// CachedBlocks returns the number of refcount-zero blocks parked in
+// the prefix cache (reclaimable on demand).
+func (m *Manager) CachedBlocks() int {
+	if m.prefix == nil {
+		return 0
+	}
+	return len(m.prefix.cached)
+}
+
+// SharedBlocks returns the number of physical blocks referenced by
+// more than one sequence — capacity that deduplication is saving right
+// now. Maintained on refcount transitions (stats poll every scheduler
+// iteration; a scan would be O(TotalBlocks)).
+func (m *Manager) SharedBlocks() int {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.shared
+}
+
+// PrefixHits returns the number of ClaimPrefix calls that matched at
+// least one cached block.
+func (m *Manager) PrefixHits() int64 {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.hits
+}
+
+// PrefixTokensSaved returns the total prompt tokens served from the
+// cache instead of being re-prefilled.
+func (m *Manager) PrefixTokensSaved() int64 {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.tokensSaved
+}
+
+// PrefixEvictions returns the number of cached blocks reclaimed (by
+// allocation pressure or the capacity bound).
+func (m *Manager) PrefixEvictions() int64 {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.evictions
+}
+
+// CowCopies returns the number of copy-on-write block copies taken
+// before a write into a shared block.
+func (m *Manager) CowCopies() int64 {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.cowCopies
+}
+
+// Lookup walks the prefix trie over the prompt's full blocks and
+// returns how many leading tokens are already cached. The match is
+// block-aligned except when the whole prompt is cached, where it is
+// capped at len(prompt)−1 so the sequence still computes (at least)
+// its final prompt token — the position that samples the first output
+// token. Lookup does not claim anything; ClaimPrefix does.
+func (m *Manager) Lookup(prompt []int) int {
+	matched, _ := m.LookupCost(prompt)
+	return matched
+}
+
+// LookupCost is Lookup plus the admission-capacity price of the
+// match: resurrect counts the matched blocks currently parked in the
+// refcount-zero cached pool, which FreeBlocks reports as free
+// capacity. Claiming those blocks removes them from the pool, so an
+// admission check must charge them like fresh allocations; only
+// matched blocks still referenced by live sequences are supplied for
+// free.
+func (m *Manager) LookupCost(prompt []int) (matched, resurrect int) {
+	if m.prefix == nil {
+		return 0, 0
+	}
+	matched, nodes := m.walk(prompt)
+	for _, n := range nodes {
+		if m.refcnt[n.block] == 0 {
+			resurrect++
+		}
+	}
+	return matched, resurrect
+}
+
+// walk returns the capped matched-token count and the matched blocks.
+func (m *Manager) walk(prompt []int) (int, []*prefixNode) {
+	b := m.cfg.BlockTokens
+	node := m.prefix.root
+	matched := 0
+	var nodes []*prefixNode
+	for matched+b <= len(prompt) {
+		child := node.children[contentKey(prompt[matched:matched+b])]
+		if child == nil {
+			break
+		}
+		nodes = append(nodes, child)
+		matched += b
+		node = child
+	}
+	if matched >= len(prompt) && matched > 0 {
+		// Fully cached prompt: keep every block claimed but recompute
+		// the final token, which partially consumes the tail block —
+		// the copy-on-write case once the sequence grows into it.
+		matched = len(prompt) - 1
+	}
+	return matched, nodes
+}
+
+// ClaimPrefix admits a new sequence whose prompt's cached prefix is
+// claimed by reference instead of allocated: each matched block's
+// refcount is bumped (resurrecting it from the cached pool when it was
+// parked there) and the sequence's block table starts with the shared
+// blocks. It returns the matched token count; 0 means no match and no
+// sequence was created — the caller falls back to plain Allocate.
+func (m *Manager) ClaimPrefix(seqID int, prompt []int) (int, error) {
+	if m.prefix == nil {
+		return 0, fmt.Errorf("kvcache: prefix cache not enabled")
+	}
+	if _, dup := m.tables[seqID]; dup {
+		return 0, fmt.Errorf("kvcache: sequence %d already allocated", seqID)
+	}
+	matched, nodes := m.walk(prompt)
+	if matched == 0 {
+		return 0, nil
+	}
+	table := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		if m.refcnt[n.block] == 0 {
+			delete(m.prefix.cached, n.block)
+		}
+		m.refcnt[n.block]++
+		if m.refcnt[n.block] == 2 {
+			m.prefix.shared++
+		}
+		m.prefix.tick++
+		n.lastUse = m.prefix.tick
+		table = append(table, n.block)
+	}
+	m.tables[seqID] = table
+	m.seqTokens[seqID] = matched
+	// The claimed chain is already committed content: later CommitPrefix
+	// calls resume past it instead of re-walking from the root.
+	m.prefix.committed[seqID] = commitMark{node: nodes[len(nodes)-1], full: len(nodes)}
+	m.prefix.hits++
+	m.prefix.tokensSaved += int64(matched)
+	return matched, nil
+}
+
+// CommitPrefix registers the sequence's fully prefilled full prompt
+// blocks in the trie so later requests can reuse them. Blocks whose
+// content is already registered under another physical block keep the
+// sequence's private copy unregistered (first writer wins); the walk
+// continues through the existing chain so deeper blocks still
+// register. Safe — and cheap — to call after every prefill chunk: the
+// walk resumes from the sequence's last committed depth, so only new
+// full blocks are hashed (re-walking from the root would make a
+// small-chunk prefill quadratic in prompt blocks).
+func (m *Manager) CommitPrefix(seqID int, prompt []int, prefilled int) error {
+	if m.prefix == nil {
+		return nil
+	}
+	table, ok := m.tables[seqID]
+	if !ok {
+		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
+	}
+	b := m.cfg.BlockTokens
+	if prefilled > len(prompt) {
+		prefilled = len(prompt)
+	}
+	full := prefilled / b
+	if full > len(table) {
+		full = len(table)
+	}
+	node, i := m.prefix.root, 0
+	if mark, ok := m.prefix.committed[seqID]; ok && mark.full <= full &&
+		m.prefix.byBlock[mark.node.block] == mark.node {
+		// Resume past the committed depth; a mark whose node was
+		// evicted (unregistered) is stale and falls back to the root.
+		node, i = mark.node, mark.full
+	}
+	for ; i < full; i++ {
+		key := contentKey(prompt[i*b : (i+1)*b])
+		child := node.children[key]
+		if child == nil {
+			if existing := m.prefix.byBlock[table[i]]; existing != nil {
+				// The block is already advertised under different
+				// content (stale chain after an eviction reshaped the
+				// trie). Leave it; do not double-register.
+				break
+			}
+			child = &prefixNode{
+				parent:   node,
+				children: make(map[string]*prefixNode),
+				key:      key,
+				block:    table[i],
+			}
+			node.children[key] = child
+			m.prefix.byBlock[table[i]] = child
+		}
+		m.prefix.tick++
+		child.lastUse = m.prefix.tick
+		node = child
+	}
+	if i > 0 {
+		m.prefix.committed[seqID] = commitMark{node: node, full: i}
+	}
+	return nil
+}
+
+// releaseBlock drops one table reference to a block: shared blocks
+// stay alive, and a block reaching refcount zero is parked in the
+// cached pool when the trie still advertises it, or freed outright.
+func (m *Manager) releaseBlock(b int) {
+	m.refcnt[b]--
+	if m.refcnt[b] == 1 {
+		m.prefix.shared--
+	}
+	if m.refcnt[b] > 0 {
+		return
+	}
+	if node := m.prefix.byBlock[b]; node != nil {
+		m.prefix.tick++
+		node.lastUse = m.prefix.tick
+		m.prefix.cached[b] = node
+		m.enforceCap()
+		return
+	}
+	m.freeList = append(m.freeList, b)
+}
+
+// enforceCap evicts LRU cached blocks until the configured capacity
+// bound holds.
+func (m *Manager) enforceCap() {
+	if m.prefix.cap <= 0 {
+		return
+	}
+	for len(m.prefix.cached) > m.prefix.cap {
+		if !m.evictOne() {
+			return // unreachable: cached is non-empty
+		}
+	}
+}
+
+// evictOne reclaims one cached block into the free list, choosing the
+// least recently used trie leaf so interior prefix chains survive; if
+// every cached node has children, the LRU interior node goes and its
+// subtree is unregistered (cached descendants are freed too, owned
+// descendants merely lose their trie advertisement). Returns false
+// when nothing is cached.
+func (m *Manager) evictOne() bool {
+	var victim *prefixNode
+	leaf := false
+	for _, n := range m.prefix.cached {
+		nLeaf := len(n.children) == 0
+		switch {
+		case victim == nil,
+			nLeaf && !leaf,
+			nLeaf == leaf && n.lastUse < victim.lastUse:
+			victim, leaf = n, nLeaf
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	m.unregister(victim)
+	return true
+}
+
+// unregister detaches a node's whole subtree from the trie, returning
+// every cached block in it to the free list.
+func (m *Manager) unregister(n *prefixNode) {
+	delete(n.parent.children, n.key)
+	var dfs func(*prefixNode)
+	dfs = func(x *prefixNode) {
+		delete(m.prefix.byBlock, x.block)
+		if _, parked := m.prefix.cached[x.block]; parked {
+			delete(m.prefix.cached, x.block)
+			m.freeList = append(m.freeList, x.block)
+			m.prefix.evictions++
+		}
+		for _, c := range x.children {
+			dfs(c)
+		}
+	}
+	dfs(n)
+}
+
+// cowNeeded reports whether growing the sequence writes into a block
+// it must not mutate: the last block is partially filled (the write
+// target) and either shared with another sequence or still advertised
+// by the trie as cached prefix content.
+func (m *Manager) cowNeeded(seqID int) bool {
+	if m.prefix == nil {
+		return false
+	}
+	if m.seqTokens[seqID]%m.cfg.BlockTokens == 0 {
+		return false // last block full; growth writes fresh blocks only
+	}
+	table := m.tables[seqID]
+	last := table[len(table)-1]
+	return m.refcnt[last] > 1 || m.prefix.byBlock[last] != nil
+}
+
+// copyOnWrite replaces the sequence's shared last block with a private
+// copy (the caller has verified capacity). The shared original keeps
+// its other references, or parks in the cached pool when this was the
+// only one.
+func (m *Manager) copyOnWrite(seqID int) {
+	table := m.tables[seqID]
+	old := table[len(table)-1]
+	fresh := m.pop()
+	m.refcnt[fresh] = 1
+	table[len(table)-1] = fresh
+	m.releaseBlock(old)
+	m.prefix.cowCopies++
+}

@@ -1,0 +1,371 @@
+package kvcache
+
+import (
+	"testing"
+)
+
+// toks builds a deterministic token sequence; equal seeds share every
+// position, so prefixes built from one seed are content-identical.
+func toks(n, seed int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = seed*100003 + i*131 + 7
+	}
+	return out
+}
+
+func newPrefixManager(t *testing.T, totalBlocks, capBlocks int) *Manager {
+	t.Helper()
+	m, err := NewManager(Config{BlockTokens: 16, TotalBlocks: totalBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnablePrefixCache(capBlocks); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustInvariants(t *testing.T, m *Manager) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixLookupClaimAndResurrect(t *testing.T) {
+	m := newPrefixManager(t, 32, 0)
+	prompt := toks(40, 1)
+
+	// Prefill seq 1 the long way, then advertise its full blocks.
+	if err := m.Allocate(1, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, prompt, 40); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+
+	if got := m.Lookup(prompt); got != 32 {
+		t.Fatalf("Lookup(full prompt) = %d, want 32 (two full blocks)", got)
+	}
+	if got := m.Lookup(prompt[:20]); got != 16 {
+		t.Fatalf("Lookup(20 tokens) = %d, want 16", got)
+	}
+	// A fully cached block-aligned prompt is capped one token short so
+	// the sequence still computes the position sampling its first
+	// output token.
+	if got := m.Lookup(prompt[:32]); got != 31 {
+		t.Fatalf("Lookup(fully cached aligned prompt) = %d, want 31 (capped)", got)
+	}
+	if got := m.Lookup(toks(40, 99)); got != 0 {
+		t.Fatalf("Lookup(unrelated prompt) = %d, want 0", got)
+	}
+
+	// Seq 2 shares the two full prefix blocks by reference.
+	matched, err := m.ClaimPrefix(2, prompt)
+	if err != nil || matched != 32 {
+		t.Fatalf("ClaimPrefix = %d, %v; want 32", matched, err)
+	}
+	t1, _ := m.BlockTable(1)
+	t2, _ := m.BlockTable(2)
+	if t1[0] != t2[0] || t1[1] != t2[1] {
+		t.Fatalf("claimed table %v does not share blocks with %v", t2, t1)
+	}
+	if got := m.SharedBlocks(); got != 2 {
+		t.Fatalf("SharedBlocks = %d, want 2", got)
+	}
+	mustInvariants(t, m)
+
+	// Seq 2 grows past the shared prefix into private blocks.
+	if err := m.Extend(2, 8); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+
+	// Releasing the original leaves the shared blocks with seq 2.
+	if err := m.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SharedBlocks(); got != 0 {
+		t.Fatalf("SharedBlocks after Free(1) = %d, want 0", got)
+	}
+	mustInvariants(t, m)
+
+	// Releasing the last reference parks the registered blocks in the
+	// cached pool: they still count as free capacity, and an identical
+	// prompt resurrects them.
+	if err := m.Free(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FreeBlocks(); got != 32 {
+		t.Fatalf("FreeBlocks after drain = %d, want 32", got)
+	}
+	if got := m.CachedBlocks(); got != 2 {
+		t.Fatalf("CachedBlocks after drain = %d, want 2", got)
+	}
+	mustInvariants(t, m)
+
+	hits := m.PrefixHits()
+	if matched, err = m.ClaimPrefix(3, prompt); err != nil || matched != 32 {
+		t.Fatalf("resurrecting ClaimPrefix = %d, %v; want 32", matched, err)
+	}
+	if m.PrefixHits() != hits+1 {
+		t.Fatalf("PrefixHits = %d, want %d", m.PrefixHits(), hits+1)
+	}
+	if got := m.CachedBlocks(); got != 0 {
+		t.Fatalf("CachedBlocks after resurrection = %d, want 0", got)
+	}
+	if got := m.PrefixTokensSaved(); got != 64 {
+		t.Fatalf("PrefixTokensSaved = %d, want 64", got)
+	}
+	mustInvariants(t, m)
+}
+
+// TestPrefixCopyOnWrite covers the partially consumed shared tail: a
+// fully cached block-aligned prompt claims every block but recomputes
+// its final token, so the first Extend writes into a shared block and
+// must copy it, never mutate it.
+func TestPrefixCopyOnWrite(t *testing.T) {
+	m := newPrefixManager(t, 16, 0)
+	prompt := toks(32, 2)
+
+	if err := m.Allocate(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, prompt, 32); err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := m.BlockTable(1)
+
+	matched, err := m.ClaimPrefix(2, prompt)
+	if err != nil || matched != 31 {
+		t.Fatalf("ClaimPrefix = %d, %v; want 31 (capped)", matched, err)
+	}
+	if m.Tokens(2) != 31 {
+		t.Fatalf("Tokens(2) = %d, want 31", m.Tokens(2))
+	}
+
+	// Recomputing token 31 writes into the shared tail block.
+	if err := m.Extend(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CowCopies(); got != 1 {
+		t.Fatalf("CowCopies = %d, want 1", got)
+	}
+	t2, _ := m.BlockTable(2)
+	if t2[0] != t1[0] {
+		t.Fatalf("full interior block not shared: %v vs %v", t2, t1)
+	}
+	if t2[1] == t1[1] {
+		t.Fatalf("shared tail block %d mutated in place instead of copied", t1[1])
+	}
+	mustInvariants(t, m)
+
+	// The advertised content is untouched: a third request still
+	// matches and claims the ORIGINAL blocks.
+	matched, err = m.ClaimPrefix(3, prompt)
+	if err != nil || matched != 31 {
+		t.Fatalf("post-COW ClaimPrefix = %d, %v; want 31", matched, err)
+	}
+	t3, _ := m.BlockTable(3)
+	if t3[0] != t1[0] || t3[1] != t1[1] {
+		t.Fatalf("post-COW claim %v, want the original blocks %v", t3, t1)
+	}
+	mustInvariants(t, m)
+}
+
+// TestPrefixCowWhenSoleOwnerButAdvertised: refcount 1 is not licence
+// to write — a block resurrected from the cached pool is still the
+// trie's advertised content and must be copied before a write.
+func TestPrefixCowWhenSoleOwnerButAdvertised(t *testing.T) {
+	m := newPrefixManager(t, 16, 0)
+	prompt := toks(32, 3)
+
+	if err := m.Allocate(1, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, prompt, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(1); err != nil {
+		t.Fatal(err)
+	}
+
+	matched, err := m.ClaimPrefix(2, prompt)
+	if err != nil || matched != 31 {
+		t.Fatalf("ClaimPrefix = %d, %v; want 31", matched, err)
+	}
+	if err := m.Extend(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CowCopies(); got != 1 {
+		t.Fatalf("CowCopies = %d, want 1 (sole owner still may not write cached content)", got)
+	}
+	// The original tail block went back to the cached pool and stays
+	// matchable.
+	if got := m.Lookup(prompt); got != 31 {
+		t.Fatalf("Lookup after COW = %d, want 31", got)
+	}
+	mustInvariants(t, m)
+}
+
+// TestPrefixEvictionRacesAdmission: allocation pressure may only
+// reclaim refcount-zero cached blocks — a block claimed by an
+// admission a moment earlier must survive the eviction scan, and an
+// allocation that cannot be covered by free+cached fails atomically.
+func TestPrefixEvictionRacesAdmission(t *testing.T) {
+	m := newPrefixManager(t, 4, 0)
+	prompt := toks(64, 4)
+
+	if err := m.Allocate(1, 64); err != nil { // all 4 blocks
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, prompt, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CachedBlocks(); got != 4 {
+		t.Fatalf("CachedBlocks = %d, want 4", got)
+	}
+
+	// Admission claims the first two cached blocks...
+	matched, err := m.ClaimPrefix(2, prompt[:40])
+	if err != nil || matched != 32 {
+		t.Fatalf("ClaimPrefix = %d, %v; want 32", matched, err)
+	}
+	t2, _ := m.BlockTable(2)
+
+	// ...so a 3-block allocation exceeds the 2 reclaimable blocks and
+	// must fail atomically without touching the claimed ones.
+	if err := m.Allocate(3, 48); err == nil {
+		t.Fatal("Allocate(48 tokens) succeeded with only 2 reclaimable blocks")
+	}
+	mustInvariants(t, m)
+
+	// A 2-block allocation evicts exactly the refcount-zero cached
+	// blocks; the claimed blocks survive with their content matchable.
+	if err := m.Allocate(3, 32); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CachedBlocks(); got != 0 {
+		t.Fatalf("CachedBlocks after pressure = %d, want 0", got)
+	}
+	if m.PrefixEvictions() == 0 {
+		t.Fatal("eviction under pressure not counted")
+	}
+	after, _ := m.BlockTable(2)
+	if after[0] != t2[0] || after[1] != t2[1] {
+		t.Fatalf("claimed blocks changed under eviction: %v vs %v", after, t2)
+	}
+	if got := m.Lookup(prompt[:40]); got != 32 {
+		t.Fatalf("Lookup(claimed prefix) = %d, want 32 (owned blocks stay advertised)", got)
+	}
+	mustInvariants(t, m)
+}
+
+// TestPrefixPreemptionReleasesShared: freeing a preempted sequence
+// drops references, not blocks — the surviving sharer keeps its table
+// and the blocks never hit the free list while referenced.
+func TestPrefixPreemptionReleasesShared(t *testing.T) {
+	m := newPrefixManager(t, 8, 0)
+	prompt := toks(48, 5)
+
+	if err := m.Allocate(1, 48); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, prompt, 48); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ClaimPrefix(2, prompt); err != nil {
+		t.Fatal(err)
+	}
+	free := m.FreeBlocks()
+
+	// Preempt the original mid-flight.
+	if err := m.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+	// Seq 2 still owns every shared block, so preempting seq 1 frees
+	// nothing: no block ever reaches the free list while referenced.
+	if got := m.FreeBlocks(); got != free {
+		t.Fatalf("FreeBlocks after preempting sharer = %d, want %d (all blocks still referenced)", got, free)
+	}
+	if err := m.Extend(2, 16); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+	if err := m.Free(2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.FreeBlocks(), 8; got != want {
+		t.Fatalf("FreeBlocks after drain = %d, want %d", got, want)
+	}
+	mustInvariants(t, m)
+}
+
+func TestPrefixCacheCapBoundsParkedBlocks(t *testing.T) {
+	m := newPrefixManager(t, 8, 1)
+	prompt := toks(48, 6)
+
+	if err := m.Allocate(1, 48); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, prompt, 48); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CachedBlocks(); got > 1 {
+		t.Fatalf("CachedBlocks = %d, want <= 1 (cap)", got)
+	}
+	if m.PrefixEvictions() == 0 {
+		t.Fatal("cap enforcement not counted as evictions")
+	}
+	mustInvariants(t, m)
+}
+
+func TestPrefixEnableValidation(t *testing.T) {
+	m, err := NewManager(Config{BlockTokens: 16, TotalBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnablePrefixCache(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if err := m.Allocate(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnablePrefixCache(0); err == nil {
+		t.Fatal("enabling on a non-empty manager accepted")
+	}
+}
+
+// TestPrefixDisabledUnchanged: without EnablePrefixCache the prefix
+// entry points are inert and the allocator behaves exactly as before.
+func TestPrefixDisabledUnchanged(t *testing.T) {
+	m, err := NewManager(Config{BlockTokens: 16, TotalBlocks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(toks(32, 7)); got != 0 {
+		t.Fatalf("Lookup on disabled cache = %d, want 0", got)
+	}
+	if _, err := m.ClaimPrefix(1, toks(32, 7)); err == nil {
+		t.Fatal("ClaimPrefix on disabled cache accepted")
+	}
+	if err := m.Allocate(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CommitPrefix(1, toks(32, 7), 20); err != nil {
+		t.Fatal(err) // no-op, not an error
+	}
+	if err := m.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	mustInvariants(t, m)
+}

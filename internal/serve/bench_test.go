@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkLiveSharedPrefix pushes one shared-prefix burst through the
+// full live scheduler (goroutines, channels, policy, stats publishing)
+// with the prefix cache off and on — the end-to-end numbers CI's
+// perf-regression job tracks.
+func BenchmarkLiveSharedPrefix(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		enabled bool
+	}{{"uncached", false}, {"cached", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng := prefixTestEngine(b)
+			prefix := seqTokens(128, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv, err := New(Config{Engine: eng, QueueDepth: 64, PrefixCache: bc.enabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv.Start()
+				for r := 0; r < 16; r++ {
+					prompt := append(append([]int(nil), prefix...), seqTokens(16, 100+r)...)
+					tk, err := srv.Submit(Request{Prompt: prompt, OutputLen: 8})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res := <-tk.Result(); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if err := srv.Stop(ctx); err != nil {
+					b.Fatal(err)
+				}
+				cancel()
+			}
+		})
+	}
+}

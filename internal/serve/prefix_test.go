@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"zipserv/internal/engine"
+	"zipserv/internal/gpu"
+	"zipserv/internal/weights"
+)
+
+func prefixTestEngine(t testing.TB) *engine.Engine {
+	t.Helper()
+	model, err := weights.ByName("LLaMA3.1-8B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{
+		Model: model, Device: gpu.MustByName("RTX4090"), NumGPUs: 1, Backend: engine.BackendZipServ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// seqTokens builds a deterministic token stream; equal seeds agree on
+// every position.
+func seqTokens(n, seed int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = seed*100003 + i*131 + 7
+	}
+	return out
+}
+
+// TestConfigValidation is the table-driven guard for scheduler
+// parameters with no defined loop behaviour: negative chunk budgets,
+// negative admission windows, non-finite time scales and negative
+// prefix-cache bounds must be rejected at construction with an error
+// naming the field, not reach the scheduler.
+func TestConfigValidation(t *testing.T) {
+	eng := prefixTestEngine(t)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"defaults", func(c *Config) {}, true},
+		{"negative max batch", func(c *Config) { c.MaxBatch = -1 }, false},
+		{"negative prefill chunk", func(c *Config) { c.PrefillChunkTokens = -64 }, false},
+		{"zero prefill chunk (monolithic)", func(c *Config) { c.PrefillChunkTokens = 0 }, true},
+		{"positive prefill chunk", func(c *Config) { c.PrefillChunkTokens = 256 }, true},
+		{"negative admission window", func(c *Config) { c.AdmissionWindow = -time.Millisecond }, false},
+		{"positive admission window", func(c *Config) { c.AdmissionWindow = 5 * time.Millisecond }, true},
+		{"negative time scale", func(c *Config) { c.TimeScale = -1 }, false},
+		{"NaN time scale", func(c *Config) { c.TimeScale = math.NaN() }, false},
+		{"+Inf time scale", func(c *Config) { c.TimeScale = math.Inf(1) }, false},
+		{"-Inf time scale", func(c *Config) { c.TimeScale = math.Inf(-1) }, false},
+		{"real-time time scale", func(c *Config) { c.TimeScale = 1 }, true},
+		{"negative prefix cache blocks", func(c *Config) { c.PrefixCache = true; c.PrefixCacheBlocks = -8 }, false},
+		{"unbounded prefix cache", func(c *Config) { c.PrefixCache = true }, true},
+		{"bounded prefix cache", func(c *Config) { c.PrefixCache = true; c.PrefixCacheBlocks = 512 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Engine: eng}
+			tc.mutate(&cfg)
+			srv, err := New(cfg)
+			if tc.ok && err != nil {
+				t.Fatalf("New rejected a valid config: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("New accepted an invalid config")
+				}
+				if srv != nil {
+					t.Fatal("New returned a server alongside an error")
+				}
+			}
+		})
+	}
+}
+
+// TestPrefixCacheLiveServer runs the same shared-prefix workload
+// through a live server with and without the prefix cache: with it,
+// later requests report cached tokens, stats count hits and saved
+// tokens, and every request still completes with its full output.
+func TestPrefixCacheLiveServer(t *testing.T) {
+	const (
+		n         = 8
+		prefixLen = 128
+		suffixLen = 32
+	)
+	prefix := seqTokens(prefixLen, 1)
+	build := func(i int) Request {
+		prompt := append(append([]int(nil), prefix...), seqTokens(suffixLen, 100+i)...)
+		return Request{Prompt: prompt, OutputLen: 8, Arrival: float64(i)}
+	}
+
+	run := func(enabled bool) ([]Result, Stats) {
+		srv, err := New(Config{Engine: prefixTestEngine(t), QueueDepth: n, PrefixCache: enabled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets := make([]*Ticket, n)
+		for i := 0; i < n; i++ {
+			if tickets[i], err = srv.Submit(build(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv.Start()
+		results := make([]Result, n)
+		for i, tk := range tickets {
+			results[i] = <-tk.Result()
+			if results[i].Err != nil {
+				t.Fatal(results[i].Err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return results, srv.Stats()
+	}
+
+	off, offStats := run(false)
+	on, onStats := run(true)
+
+	if offStats.PrefixCacheEnabled || !onStats.PrefixCacheEnabled {
+		t.Fatalf("PrefixCacheEnabled off/on = %v/%v", offStats.PrefixCacheEnabled, onStats.PrefixCacheEnabled)
+	}
+	if offStats.PrefixHits != 0 || offStats.PrefixTokensSaved != 0 {
+		t.Fatalf("cache-off run counted hits: %+v", offStats)
+	}
+	if onStats.PrefixHits == 0 || onStats.PrefixTokensSaved == 0 {
+		t.Fatalf("cache-on run counted no reuse: hits=%d saved=%d", onStats.PrefixHits, onStats.PrefixTokensSaved)
+	}
+	if onStats.PrefillTokens >= offStats.PrefillTokens {
+		t.Fatalf("prefix-on computed %d prefill tokens, not fewer than %d", onStats.PrefillTokens, offStats.PrefillTokens)
+	}
+	// Outputs are identical: same per-request shape, full output, and
+	// at least one later request served part of its prompt from cache.
+	sawCached := false
+	for i := range on {
+		if on[i].PromptLen != off[i].PromptLen || on[i].OutputLen != off[i].OutputLen {
+			t.Fatalf("request %d shape differs: %+v vs %+v", i, on[i], off[i])
+		}
+		if off[i].CachedTokens != 0 {
+			t.Fatalf("cache-off request %d reports %d cached tokens", i, off[i].CachedTokens)
+		}
+		if on[i].CachedTokens > 0 {
+			sawCached = true
+		}
+	}
+	if !sawCached {
+		t.Fatal("no request reported cached tokens with the cache on")
+	}
+}
+
+// TestPrefixCachePromptLenValidation: a submission carrying tokens may
+// omit PromptLen (defaulted) but must not contradict it.
+func TestPrefixCachePromptLenValidation(t *testing.T) {
+	srv, err := New(Config{Engine: prefixTestEngine(t), PrefixCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Stop(ctx)
+	}()
+
+	if _, err := srv.Submit(Request{Prompt: seqTokens(32, 1), PromptLen: 31, OutputLen: 4}); err == nil {
+		t.Fatal("contradictory prompt_len accepted")
+	}
+	tk, err := srv.Submit(Request{Prompt: seqTokens(32, 1), OutputLen: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-tk.Result()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.PromptLen != 32 {
+		t.Fatalf("PromptLen defaulted to %d, want 32", res.PromptLen)
+	}
+}
+
+// TestRouterAggregatesPrefixStats: a routed fleet sums prefix counters
+// and block gauges across replicas.
+func TestRouterAggregatesPrefixStats(t *testing.T) {
+	mk := func() *Server {
+		srv, err := New(Config{Engine: prefixTestEngine(t), PrefixCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	r, err := NewRouter(mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	prompt := seqTokens(96, 3)
+	// Submit sequentially so each request finds the prefix committed:
+	// requests admitted in one burst all race the first commit and
+	// legitimately miss.
+	for i := 0; i < 6; i++ {
+		tk, err := r.Submit(Request{Prompt: prompt, OutputLen: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := <-tk.Result(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, per := r.Snapshot()
+	if !agg.PrefixCacheEnabled {
+		t.Fatal("aggregate lost PrefixCacheEnabled")
+	}
+	var hits, saved int64
+	var cachedBlocks int
+	for _, st := range per {
+		hits += st.PrefixHits
+		saved += st.PrefixTokensSaved
+		cachedBlocks += st.CachedKVBlocks
+	}
+	if agg.PrefixHits != hits || agg.PrefixTokensSaved != saved || agg.CachedKVBlocks != cachedBlocks {
+		t.Fatalf("aggregate %d/%d/%d, replica sum %d/%d/%d",
+			agg.PrefixHits, agg.PrefixTokensSaved, agg.CachedKVBlocks, hits, saved, cachedBlocks)
+	}
+	// The router dispatched by load; identical prompts land hits on
+	// whichever replica saw the prefix before. With 6 identical
+	// prompts over 2 replicas at least 4 admissions repeat a prefix
+	// somewhere.
+	if hits == 0 {
+		t.Fatal("no prefix hits across the fleet")
+	}
+}

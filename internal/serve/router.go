@@ -186,6 +186,11 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.RecentDrainRPS += st.RecentDrainRPS
 		agg.PrefillIterations += st.PrefillIterations
 		agg.PrefillTokens += st.PrefillTokens
+		agg.PrefixCacheEnabled = agg.PrefixCacheEnabled || st.PrefixCacheEnabled
+		agg.PrefixHits += st.PrefixHits
+		agg.PrefixTokensSaved += st.PrefixTokensSaved
+		agg.CachedKVBlocks += st.CachedKVBlocks
+		agg.SharedKVBlocks += st.SharedKVBlocks
 		// Worst-replica cadence stall and the largest configured budget
 		// (fleets are normally homogeneous; max is the honest summary
 		// when they are not).

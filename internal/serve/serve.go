@@ -89,6 +89,12 @@ const (
 type Request struct {
 	PromptLen int
 	OutputLen int
+	// Prompt optionally carries the prompt's token ids. With
+	// Config.PrefixCache, requests sharing a prompt prefix
+	// (token-identical leading blocks) reuse each other's KV blocks
+	// and skip the shared prefill work. When non-empty, PromptLen may
+	// be 0 (defaulted to len(Prompt)) or must equal len(Prompt).
+	Prompt []int
 	// Arrival is the virtual arrival time in seconds. Use ArrivalNow
 	// (any negative value) for live requests; trace replays set the
 	// trace's arrival timestamps so queueing delays are reproduced.
@@ -118,7 +124,9 @@ type Config struct {
 	Policy Policy
 	// PaddedPrefill disables token-packed prefill and prices prefill
 	// batches padded to the longest prompt, reproducing the offline
-	// static-batch baseline. For benchmarks.
+	// static-batch baseline. For benchmarks. Overridden by PrefixCache
+	// (and by chunking): a padded batch cannot start mid-prompt, so
+	// cached-prefix prefill is always priced token-packed.
 	PaddedPrefill bool
 	// PrefillChunkTokens caps the prompt tokens one scheduler iteration
 	// may prefill (Sarathi-style chunked prefill): partially prefilled
@@ -140,6 +148,16 @@ type Config struct {
 	// instead of draining one by one. 1.0 ≈ real time; 0 (default) runs
 	// as fast as the CPU allows.
 	TimeScale float64
+	// PrefixCache enables copy-on-write KV prefix reuse across
+	// requests that carry prompt tokens (Request.Prompt): admission
+	// claims content-matched blocks by reference, prefill starts at
+	// the first uncached position, and refcount-zero blocks are kept
+	// warm for later identical prefixes (LRU-evicted under pressure).
+	PrefixCache bool
+	// PrefixCacheBlocks bounds how many refcount-zero blocks the
+	// prefix cache may keep parked (0 = unbounded: every free block is
+	// a reuse candidate). Ignored unless PrefixCache is set.
+	PrefixCacheBlocks int
 }
 
 // EventType tags a streaming event.
@@ -162,6 +180,9 @@ type Event struct {
 	ID         int       `json:"id"`
 	SimSeconds float64   `json:"sim_seconds"`
 	TTFT       float64   `json:"ttft_seconds,omitempty"`
+	// CachedTokens reports, on the admitted event, how many prompt
+	// tokens the prefix cache served by reference.
+	CachedTokens int `json:"cached_tokens,omitempty"`
 }
 
 // Result is the final per-request record.
@@ -171,6 +192,9 @@ type Result struct {
 	OutputLen int   `json:"output_len"`
 	Class     Class `json:"class,omitempty"`
 	Preempted int   `json:"preempted,omitempty"` // times evicted and requeued
+	// CachedTokens is how many prompt tokens the prefix cache served
+	// by reference (skipped prefill work) on the final admission.
+	CachedTokens int `json:"cached_tokens,omitempty"`
 
 	// Virtual timestamps (seconds on the scheduler clock). Admitted is
 	// the last admission when the request was preempted in between.
@@ -233,6 +257,19 @@ type Stats struct {
 	PrefillIterations  int64   `json:"prefill_iterations"`
 	PrefillTokens      int64   `json:"prefill_tokens"`
 	MaxDecodeGap       float64 `json:"max_decode_gap_seconds"`
+
+	// Prefix-cache metrics. PrefixCacheEnabled echoes the config;
+	// PrefixHits counts admissions that reused cached blocks;
+	// PrefixTokensSaved totals the prompt tokens served by reference
+	// instead of re-prefilled; CachedKVBlocks are refcount-zero blocks
+	// kept warm (they still count as free capacity); SharedKVBlocks
+	// are blocks referenced by more than one live sequence. A router
+	// sums the counters across replicas.
+	PrefixCacheEnabled bool  `json:"prefix_cache_enabled,omitempty"`
+	PrefixHits         int64 `json:"prefix_hits"`
+	PrefixTokensSaved  int64 `json:"prefix_tokens_saved"`
+	CachedKVBlocks     int   `json:"cached_kv_blocks"`
+	SharedKVBlocks     int   `json:"shared_kv_blocks"`
 
 	Goodput    float64 `json:"goodput_rps"`      // completed / sim second
 	Throughput float64 `json:"throughput_tok_s"` // tokens / sim second

@@ -44,11 +44,16 @@ const (
 
 var _ Backend = (*Server)(nil)
 
-// New builds a live server over the engine. Call Start to launch the
-// scheduler goroutine.
+// New builds a live server over the engine, rejecting configurations
+// the scheduler loop has no defined behaviour for (negative budgets or
+// windows, non-finite pacing). Call Start to launch the scheduler
+// goroutine.
 func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("serve: config needs an engine")
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -69,8 +74,34 @@ func New(cfg Config) (*Server, error) {
 			TotalKVBlocks:      blocks,
 			Policy:             cfg.Policy.Name(),
 			PrefillChunkTokens: cfg.PrefillChunkTokens,
+			PrefixCacheEnabled: cfg.PrefixCache,
 		},
 	}, nil
+}
+
+// validateConfig rejects scheduler parameters outside their defined
+// domain with an error naming the offending field, instead of letting
+// a negative chunk budget, a negative admission window, a NaN time
+// scale or a negative cache bound reach the loop as undefined
+// behaviour. Flag-driven callers (zipserv-server) surface these at
+// startup.
+func validateConfig(cfg Config) error {
+	if cfg.MaxBatch < 0 {
+		return fmt.Errorf("serve: MaxBatch (-max-batch) must be >= 0, got %d", cfg.MaxBatch)
+	}
+	if cfg.PrefillChunkTokens < 0 {
+		return fmt.Errorf("serve: PrefillChunkTokens (-prefill-chunk) must be >= 0, got %d", cfg.PrefillChunkTokens)
+	}
+	if cfg.AdmissionWindow < 0 {
+		return fmt.Errorf("serve: AdmissionWindow (-admit-window) must be >= 0, got %s", cfg.AdmissionWindow)
+	}
+	if math.IsNaN(cfg.TimeScale) || math.IsInf(cfg.TimeScale, 0) || cfg.TimeScale < 0 {
+		return fmt.Errorf("serve: TimeScale (-time-scale) must be finite and >= 0, got %v", cfg.TimeScale)
+	}
+	if cfg.PrefixCacheBlocks < 0 {
+		return fmt.Errorf("serve: PrefixCacheBlocks (-prefix-cache-blocks) must be >= 0, got %d", cfg.PrefixCacheBlocks)
+	}
+	return nil
 }
 
 // Start launches the scheduler goroutine. Safe to call once.
@@ -105,6 +136,14 @@ func (s *Server) Stop(ctx context.Context) error {
 // ErrStopped after Stop, or ErrNeverFits when the request exceeds the
 // device's total KV plan.
 func (s *Server) Submit(req Request) (*Ticket, error) {
+	if len(req.Prompt) > 0 {
+		if req.PromptLen == 0 {
+			req.PromptLen = len(req.Prompt)
+		} else if req.PromptLen != len(req.Prompt) {
+			return nil, fmt.Errorf("serve: prompt_len %d does not match %d prompt tokens",
+				req.PromptLen, len(req.Prompt))
+		}
+	}
 	if req.PromptLen <= 0 || req.OutputLen <= 0 {
 		return nil, fmt.Errorf("serve: prompt/output lengths must be positive, got %d/%d",
 			req.PromptLen, req.OutputLen)
@@ -134,6 +173,7 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 			ArrivalSeconds: arrival,
 			PromptLen:      req.PromptLen,
 			OutputLen:      req.OutputLen,
+			Prompt:         req.Prompt,
 		},
 		class:     class,
 		ttftSLO:   req.TTFTDeadline,
@@ -205,6 +245,12 @@ func (s *Server) loop() {
 	}
 	sp.PackedPrefill = !s.cfg.PaddedPrefill
 	sp.PrefillChunkTokens = s.cfg.PrefillChunkTokens
+	if s.cfg.PrefixCache {
+		if err := sp.EnablePrefixCache(s.cfg.PrefixCacheBlocks); err != nil {
+			s.failAll(nil, nil, err)
+			return
+		}
+	}
 
 	var (
 		pending  []*call
@@ -286,6 +332,7 @@ func (s *Server) loop() {
 				FirstToken: m.FirstToken, Finished: m.Finished,
 				TTFT: m.TTFT, TPOT: m.TPOT,
 				QueueWait: m.Admitted - m.Arrival, Latency: m.Latency,
+				CachedTokens: m.CachedTokens,
 			})
 		}
 		s.pace(prefillElapsed + decodeElapsed)
@@ -374,9 +421,9 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 			pick = 0 // liveness guard: an idle system must admit
 		}
 		c := pending[idxs[pick]]
-		if !sp.CanAdmit(c.req.PromptLen, c.req.OutputLen) {
+		if !sp.CanAdmitRequest(c.req) {
 			pending = s.makeRoom(sp, pending, c, inflight, agg)
-			if !sp.CanAdmit(c.req.PromptLen, c.req.OutputLen) {
+			if !sp.CanAdmitRequest(c.req) {
 				if sp.InFlight() > 0 {
 					break // capacity frees up as sequences finish
 				}
@@ -399,7 +446,8 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 		}
 		c.admittedAt = sp.Clock()
 		inflight[c.req.ID] = c
-		c.emit(Event{Type: EventAdmitted, SimSeconds: sp.Clock()})
+		c.emit(Event{Type: EventAdmitted, SimSeconds: sp.Clock(),
+			CachedTokens: sp.CachedTokensOf(c.req.ID)})
 		pending = append(pending[:idxs[pick]], pending[idxs[pick]+1:]...)
 	}
 	return pending
@@ -411,7 +459,7 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 // set and requeued at the back of the pending queue with its original
 // arrival, to be re-admitted — and fully recomputed — later.
 func (s *Server) makeRoom(sp *engine.Stepper, pending []*call, blocked *call, inflight map[int]*call, agg *aggregate) []*call {
-	for !sp.CanAdmit(blocked.req.PromptLen, blocked.req.OutputLen) {
+	for !sp.CanAdmitRequest(blocked.req) {
 		running := runningViews(inflight)
 		if len(running) == 0 {
 			return pending
@@ -525,6 +573,12 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		PrefillIterations:  sp.PrefillIterations(),
 		PrefillTokens:      sp.PrefillTokens(),
 		MaxDecodeGap:       sp.MaxDecodeGap(),
+
+		PrefixCacheEnabled: sp.PrefixCacheEnabled(),
+		PrefixHits:         sp.PrefixHits(),
+		PrefixTokensSaved:  sp.PrefixTokensSaved(),
+		CachedKVBlocks:     sp.CachedKVBlocks(),
+		SharedKVBlocks:     sp.SharedKVBlocks(),
 	}
 	if agg.completed > 0 {
 		st.MeanTTFT = agg.ttftSum / float64(agg.completed)

@@ -53,6 +53,17 @@
 // clock so live arrivals interleave with scheduling the way trace
 // replays do.
 //
+// With LiveConfig.PrefixCache, prompt KV blocks are content-addressed
+// and reference-counted (RadixAttention-style): requests carrying
+// prompt token ids (LiveRequest.Prompt) that share a prompt prefix
+// claim each other's blocks by reference instead of re-prefilling
+// them, with copy-on-write protecting shared content and LRU eviction
+// reclaiming refcount-zero cached blocks under pressure. Per-request
+// reuse appears as LiveResult.CachedTokens and fleet-wide as
+// LiveStats.PrefixHits / PrefixTokensSaved; outputs are byte-identical
+// to cache-off, only TTFT and KV pressure improve. See
+// docs/prefix-caching.md.
+//
 // Quick start:
 //
 //	w := zipserv.GaussianWeights(4096, 4096, 0.02, 1)
