@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// csvTable accumulates one compare-mode result table for the -csv
+// export every comparison mode shares (-compare-policies,
+// -compare-chunking, -compare-prefix, -compare-adaptive): one header,
+// one row per configuration, written in a single place instead of each
+// mode hand-rolling its own writer.
+type csvTable struct {
+	columns []string
+	rows    [][]string
+}
+
+func newCSVTable(columns ...string) *csvTable {
+	return &csvTable{columns: columns}
+}
+
+// add appends one row; the cell count must match the header.
+func (t *csvTable) add(cells ...string) {
+	if len(cells) != len(t.columns) {
+		panic(fmt.Sprintf("csv row has %d cells for %d columns", len(cells), len(t.columns)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// write exports the table to path; a no-op when path is empty so
+// callers pass the -csv flag through unconditionally. The comparison
+// values are plain numbers and identifiers, so no quoting is needed.
+func (t *csvTable) write(path string) error {
+	if path == "" {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -26,14 +26,26 @@
 // reuse win of copy-on-write prefix caching. -require-prefix-win turns
 // the comparison into a CI gate.
 //
+// With -compare-adaptive it replays one mixed long-prompt +
+// shared-prefix workload under each static prefill chunk budget and
+// under the adaptive controllers (closed-loop chunk budget derived
+// from the -target-step-time TPOT SLO, plus adaptive prefix-cache pool
+// sizing), and reports decode TPOT percentiles — the SLO win of
+// deriving the operating point per iteration instead of trusting an
+// operator constant. -require-adaptive-win turns the comparison into a
+// CI gate.
+//
+// Every compare mode shares -csv to export its table.
+//
 // Usage:
 //
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -batch 32 -out 2048
 //	zipserv-serve -model LLaMA3.1-70B -device L40S -gpus 4 -compare
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -live -requests 64 -rate 100
-//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-policies -requests 64
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-policies -requests 64 -csv policies.csv
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-chunking -requests 40 -csv chunking.csv
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-prefix -requests 40 -csv prefix.csv
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-adaptive -target-step-time 30ms -require-adaptive-win
 package main
 
 import (
@@ -43,7 +55,6 @@ import (
 	"math"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"zipserv"
@@ -67,7 +78,13 @@ func main() {
 		"replay a shared-prefix workload with the KV prefix cache off and on and compare TTFT and prefill work")
 	requirePrefixWin := flag.Bool("require-prefix-win", false,
 		"compare-prefix: exit non-zero unless prefix-on TTFT p50 <= prefix-off (CI perf-regression gate)")
-	csvPath := flag.String("csv", "", "compare-chunking/-compare-prefix: also write the comparison as CSV to this path")
+	compareAdaptive := flag.Bool("compare-adaptive", false,
+		"replay a mixed long-prompt + shared-prefix workload under each static chunk budget and the adaptive controllers, comparing decode TPOT")
+	requireAdaptiveWin := flag.Bool("require-adaptive-win", false,
+		"compare-adaptive: exit non-zero unless adaptive decode TPOT p99 <= every static budget's (CI perf-regression gate)")
+	targetStepTime := flag.Duration("target-step-time", 30*time.Millisecond,
+		"compare-adaptive: the adaptive controller's combined step-time target (TPOT SLO)")
+	csvPath := flag.String("csv", "", "compare modes: also write the comparison as CSV to this path")
 	requests := flag.Int("requests", 64, "live mode: number of trace requests")
 	rate := flag.Float64("rate", 100, "live mode: Poisson arrival rate (req/s)")
 	seed := flag.Int64("seed", 7, "live mode: trace seed")
@@ -75,12 +92,14 @@ func main() {
 
 	var err error
 	switch {
+	case *compareAdaptive:
+		err = runCompareAdaptive(*model, *device, *gpus, *backend, *requests, *prompt, targetStepTime.Seconds(), *csvPath, *requireAdaptiveWin)
 	case *comparePrefix:
 		err = runComparePrefix(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *csvPath, *requirePrefixWin)
 	case *compareChunking:
 		err = runCompareChunking(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed, *csvPath)
 	case *comparePolicies:
-		err = runComparePolicies(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed)
+		err = runComparePolicies(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed, *csvPath)
 	case *live:
 		err = runLive(*model, *device, *gpus, *backend, *requests, *rate, *prompt, *out, *seed)
 	default:
@@ -229,7 +248,7 @@ func runLive(modelName, device string, gpus int, backend string, n int, rate flo
 // requests (the flag lengths, a 250 ms TTFT deadline) and batch
 // requests (8× longer, no deadline) — through the live scheduler under
 // each admission policy, and prints per-class TTFT percentiles.
-func runComparePolicies(modelName, device string, gpus int, backend string, n int, rate float64, prompt, out int, seed int64) error {
+func runComparePolicies(modelName, device string, gpus int, backend string, n int, rate float64, prompt, out int, seed int64, csvPath string) error {
 	model, err := zipserv.ModelByName(modelName)
 	if err != nil {
 		return err
@@ -260,6 +279,8 @@ func runComparePolicies(modelName, device string, gpus int, backend string, n in
 		n, rate, prompt, out, 8*prompt, 8*out, modelName, gpus, device, backend)
 	fmt.Printf("%-10s %16s %16s %16s %14s %10s\n",
 		"policy", "int p50 TTFT(s)", "int p95 TTFT(s)", "bat p50 TTFT(s)", "goodput(r/s)", "preempted")
+	csv := newCSVTable("policy", "interactive_ttft_p50_s", "interactive_ttft_p95_s",
+		"batch_ttft_p50_s", "goodput_rps", "preempted")
 	for _, name := range zipserv.LivePolicyNames() {
 		policy, err := zipserv.LivePolicyByName(name)
 		if err != nil {
@@ -283,11 +304,13 @@ func runComparePolicies(modelName, device string, gpus int, backend string, n in
 				intTTFT = append(intTTFT, res.TTFT)
 			}
 		}
+		intP50, intP95, batP50 := percentile(intTTFT, 0.50), percentile(intTTFT, 0.95), percentile(batTTFT, 0.50)
 		fmt.Printf("%-10s %16.3f %16.3f %16.3f %14.2f %10d\n",
-			name, percentile(intTTFT, 0.50), percentile(intTTFT, 0.95),
-			percentile(batTTFT, 0.50), st.Goodput, st.Preempted)
+			name, intP50, intP95, batP50, st.Goodput, st.Preempted)
+		csv.add(name, fmt.Sprintf("%.6f", intP50), fmt.Sprintf("%.6f", intP95),
+			fmt.Sprintf("%.6f", batP50), fmt.Sprintf("%.3f", st.Goodput), fmt.Sprintf("%d", st.Preempted))
 	}
-	return nil
+	return csv.write(csvPath)
 }
 
 // runCompareChunking replays one trace — mostly short decoders at the
@@ -321,8 +344,7 @@ func runCompareChunking(modelName, device string, gpus int, backend string, n in
 		n, rate, prompt, out, 16*prompt, modelName, gpus, device, backend)
 	fmt.Printf("%-12s %16s %16s %18s %14s\n",
 		"chunk", "dec TPOT p50(s)", "dec TPOT p99(s)", "max dec gap(s)", "goodput(r/s)")
-	var csv strings.Builder
-	csv.WriteString("chunk_tokens,decode_tpot_p50_s,decode_tpot_p99_s,max_decode_gap_s,goodput_rps\n")
+	csv := newCSVTable("chunk_tokens", "decode_tpot_p50_s", "decode_tpot_p99_s", "max_decode_gap_s", "goodput_rps")
 	for _, chunk := range []int{0, 64, 256, 1024} {
 		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
 			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
@@ -346,15 +368,10 @@ func runCompareChunking(modelName, device string, gpus int, backend string, n in
 		}
 		p50, p99 := percentile(tpots, 0.50), percentile(tpots, 0.99)
 		fmt.Printf("%-12s %16.4f %16.4f %18.4f %14.2f\n", label, p50, p99, st.MaxDecodeGap, st.Goodput)
-		fmt.Fprintf(&csv, "%d,%.6f,%.6f,%.6f,%.3f\n", chunk, p50, p99, st.MaxDecodeGap, st.Goodput)
+		csv.add(fmt.Sprintf("%d", chunk), fmt.Sprintf("%.6f", p50), fmt.Sprintf("%.6f", p99),
+			fmt.Sprintf("%.6f", st.MaxDecodeGap), fmt.Sprintf("%.3f", st.Goodput))
 	}
-	if csvPath != "" {
-		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("\nwrote %s\n", csvPath)
-	}
-	return nil
+	return csv.write(csvPath)
 }
 
 // runComparePrefix replays one shared-prefix workload — every request
@@ -432,27 +449,151 @@ func runComparePrefix(modelName, device string, gpus int, backend string, n int,
 		n, rate, prefixLen, prompt, out, modelName, gpus, device, backend)
 	fmt.Printf("%-12s %14s %14s %16s %12s %14s %14s\n",
 		"mode", "TTFT p50(s)", "TTFT p99(s)", "prefill tokens", "hits", "tokens saved", "goodput(r/s)")
-	var csv strings.Builder
-	csv.WriteString("mode,ttft_p50_s,ttft_p99_s,prefill_tokens,prefix_hits,prefix_tokens_saved,goodput_rps\n")
+	csv := newCSVTable("mode", "ttft_p50_s", "ttft_p99_s", "prefill_tokens",
+		"prefix_hits", "prefix_tokens_saved", "goodput_rps")
 	for _, r := range rows {
 		fmt.Printf("%-12s %14.4f %14.4f %16d %12d %14d %14.2f\n",
 			r.mode, r.p50, r.p99, r.prefillTokens, r.hits, r.saved, r.goodput)
-		fmt.Fprintf(&csv, "%s,%.6f,%.6f,%d,%d,%d,%.3f\n",
-			r.mode, r.p50, r.p99, r.prefillTokens, r.hits, r.saved, r.goodput)
+		csv.add(r.mode, fmt.Sprintf("%.6f", r.p50), fmt.Sprintf("%.6f", r.p99),
+			fmt.Sprintf("%d", r.prefillTokens), fmt.Sprintf("%d", r.hits),
+			fmt.Sprintf("%d", r.saved), fmt.Sprintf("%.3f", r.goodput))
 	}
 	off, on := rows[0], rows[1]
 	if off.p50 > 0 {
 		fmt.Printf("\nprefix-on TTFT p50 speedup: %.2fx, prefill tokens saved: %d\n",
 			off.p50/on.p50, off.prefillTokens-on.prefillTokens)
 	}
-	if csvPath != "" {
-		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", csvPath)
+	if err := csv.write(csvPath); err != nil {
+		return err
 	}
 	if requireWin && on.p50 > off.p50 {
 		return fmt.Errorf("perf regression: prefix-on TTFT p50 %.6fs > prefix-off %.6fs", on.p50, off.p50)
+	}
+	return nil
+}
+
+// runCompareAdaptive replays one mixed long-prompt + shared-prefix
+// workload — bursts of short decoders sharing a prompt prefix, with
+// two long unique prompts riding every burst — through the live
+// scheduler under each static prefill chunk budget and under the
+// adaptive controllers (closed-loop chunk budget + prefix-cache pool
+// sizing), and prints the short decoders' TPOT percentiles, the worst
+// decode stall, goodput and the final controller operating point. The
+// regime-switching pattern (deep decode batch during a burst, idle
+// drain between bursts) is where a static budget must pick one regime
+// to lose; with requireWin it exits non-zero unless adaptive TPOT p99
+// matches or beats every static setting — the CI perf-regression gate
+// for the controller. n (-requests) sizes the trace, rounded up to
+// whole bursts of 8; the burst shape itself is fixed, so -rate, -out
+// and -seed do not apply here.
+func runCompareAdaptive(modelName, device string, gpus int, backend string, n, prompt int, target float64, csvPath string, requireWin bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || prompt <= 0 || target <= 0 {
+		return fmt.Errorf("invalid workload parameters")
+	}
+
+	// The workload mirrors the serve package's enforced comparison:
+	// bursts of 8 requests, 0.7s apart; per burst 6 decoders (shared
+	// 4×prompt-token prefix + unique prompt/4 suffix, 32 output tokens)
+	// and 2 long prompts (16×prompt unique tokens, 8 output tokens).
+	bursts := (n + 7) / 8
+	tokens := func(n, seed int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = seed*100003 + i*131
+		}
+		return out
+	}
+	prefix := tokens(4*prompt, 1)
+	var reqs []zipserv.LiveRequest
+	id := 0
+	for b := 0; b < bursts; b++ {
+		at := float64(b) * 0.7
+		for j := 0; j < 8; j++ {
+			id++
+			if j >= 6 {
+				reqs = append(reqs, zipserv.LiveRequest{
+					Prompt: tokens(16*prompt, 5000+id), OutputLen: 8, Arrival: at,
+				})
+				continue
+			}
+			p := append(append([]int(nil), prefix...), tokens(prompt/4, 100+id)...)
+			reqs = append(reqs, zipserv.LiveRequest{Prompt: p, OutputLen: 32, Arrival: at})
+		}
+	}
+	decoderTPOTs := func(results []zipserv.LiveResult) []float64 {
+		var tpots []float64
+		for i, res := range results {
+			if reqs[i].OutputLen > 8 {
+				tpots = append(tpots, res.TPOT)
+			}
+		}
+		return tpots
+	}
+
+	fmt.Printf("adaptive mix: %d requests in %d bursts, shared %d-token prefix + every 4th prompt %d tokens, %.0fms step target (%s on %dx %s, %s)\n\n",
+		len(reqs), bursts, 4*prompt, 16*prompt, target*1e3, modelName, gpus, device, backend)
+	fmt.Printf("%-14s %16s %16s %18s %14s %14s\n",
+		"mode", "dec TPOT p50(s)", "dec TPOT p99(s)", "max dec gap(s)", "goodput(r/s)", "chunk budget")
+	csv := newCSVTable("mode", "decode_tpot_p50_s", "decode_tpot_p99_s", "max_decode_gap_s",
+		"goodput_rps", "chunk_budget_tokens", "cache_pool_target_blocks")
+
+	newEngine := func() (*zipserv.Engine, error) {
+		return zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+		})
+	}
+	bestStatic := math.Inf(1)
+	var adaptiveP99 float64
+	for _, mode := range []struct {
+		label string
+		cfg   zipserv.LiveConfig
+	}{
+		{"static-64", zipserv.LiveConfig{PrefillChunkTokens: 64, PrefixCache: true}},
+		{"static-256", zipserv.LiveConfig{PrefillChunkTokens: 256, PrefixCache: true}},
+		{"static-1024", zipserv.LiveConfig{PrefillChunkTokens: 1024, PrefixCache: true}},
+		{"adaptive", zipserv.LiveConfig{
+			AdaptiveChunking: true, TargetStepTime: target,
+			PrefixCache: true, AdaptivePrefixCache: true,
+		}},
+	} {
+		eng, err := newEngine()
+		if err != nil {
+			return err
+		}
+		cfg := mode.cfg
+		cfg.Engine = eng
+		results, st, err := replayLive(cfg, reqs)
+		if err != nil {
+			return err
+		}
+		tpots := decoderTPOTs(results)
+		p50, p99 := percentile(tpots, 0.50), percentile(tpots, 0.99)
+		fmt.Printf("%-14s %16.4f %16.4f %18.4f %14.2f %14d\n",
+			mode.label, p50, p99, st.MaxDecodeGap, st.Goodput, st.ChunkBudget)
+		csv.add(mode.label, fmt.Sprintf("%.6f", p50), fmt.Sprintf("%.6f", p99),
+			fmt.Sprintf("%.6f", st.MaxDecodeGap), fmt.Sprintf("%.3f", st.Goodput),
+			fmt.Sprintf("%d", st.ChunkBudget), fmt.Sprintf("%d", st.CachePoolTarget))
+		if mode.label == "adaptive" {
+			adaptiveP99 = p99
+		} else if p99 < bestStatic {
+			bestStatic = p99
+		}
+	}
+	fmt.Printf("\nadaptive TPOT p99 vs best static: %.4fs vs %.4fs (%.2fx)\n",
+		adaptiveP99, bestStatic, bestStatic/adaptiveP99)
+	if err := csv.write(csvPath); err != nil {
+		return err
+	}
+	if requireWin && adaptiveP99 > bestStatic {
+		return fmt.Errorf("perf regression: adaptive decode TPOT p99 %.6fs > best static %.6fs", adaptiveP99, bestStatic)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@
 //	zipserv-server -replicas 4 -policy priority
 //	zipserv-server -prefill-chunk 256 -admit-window 5ms -time-scale 1
 //	zipserv-server -prefix-cache -prefix-cache-blocks 4096
+//	zipserv-server -adaptive-chunk -target-step-time 30ms -prefix-cache -adaptive-prefix-cache
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
 //	curl -X POST localhost:8080/v1/generate -d '{"prompt_len":128,"output_len":64}'
@@ -56,6 +57,10 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "per-replica cap on concurrently scheduled sequences (0 = KV capacity only)")
 	prefillChunk := flag.Int("prefill-chunk", 0,
 		"prompt tokens prefilled per scheduler iteration (chunked prefill; 0 = whole prompts)")
+	adaptiveChunk := flag.Bool("adaptive-chunk", false,
+		"derive the prefill chunk budget per iteration from the decode batch's step-time target instead of -prefill-chunk")
+	targetStepTime := flag.Duration("target-step-time", 0,
+		"adaptive chunking: combined prefill+decode step-time target per iteration, i.e. the TPOT SLO (0 = 50ms default)")
 	admitWindow := flag.Duration("admit-window", 0,
 		"micro-batch admission window: hold the first idle-arriving request this long so bursts prefill together (0 = off)")
 	timeScale := flag.Float64("time-scale", 0,
@@ -64,6 +69,8 @@ func main() {
 		"reuse KV blocks across requests sharing a prompt prefix (requests opt in by sending \"prompt\" token arrays)")
 	prefixCacheBlocks := flag.Int("prefix-cache-blocks", 0,
 		"bound on refcount-zero KV blocks kept warm per replica for prefix reuse (0 = unbounded)")
+	adaptivePrefixCache := flag.Bool("adaptive-prefix-cache", false,
+		"resize the warm prefix-cache pool per admission epoch from hit rates and KV pressure instead of -prefix-cache-blocks")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -97,6 +104,8 @@ func main() {
 			Engine: eng, QueueDepth: *queueDepth, MaxBatch: *maxBatch, Policy: policy,
 			PrefillChunkTokens: *prefillChunk, AdmissionWindow: *admitWindow, TimeScale: *timeScale,
 			PrefixCache: *prefixCache, PrefixCacheBlocks: *prefixCacheBlocks,
+			AdaptiveChunking: *adaptiveChunk, TargetStepTime: targetStepTime.Seconds(),
+			AdaptivePrefixCache: *adaptivePrefixCache,
 		})
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
@@ -127,13 +136,22 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	chunkDesc := "whole-prompt prefill"
-	if *prefillChunk > 0 {
+	if *adaptiveChunk {
+		target := targetStepTime.Seconds()
+		if target == 0 {
+			target = serve.DefaultTargetStepTime
+		}
+		chunkDesc = fmt.Sprintf("adaptive prefill chunks (%.0fms step target)", target*1e3)
+	} else if *prefillChunk > 0 {
 		chunkDesc = fmt.Sprintf("%d-token prefill chunks", *prefillChunk)
 	}
 	cacheDesc := "prefix cache off"
 	if *prefixCache {
 		cacheDesc = "prefix cache on (unbounded)"
-		if *prefixCacheBlocks > 0 {
+		switch {
+		case *adaptivePrefixCache:
+			cacheDesc = "prefix cache on (adaptive pool)"
+		case *prefixCacheBlocks > 0:
 			cacheDesc = fmt.Sprintf("prefix cache on (%d blocks)", *prefixCacheBlocks)
 		}
 	}

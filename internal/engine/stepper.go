@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"zipserv/internal/kvcache"
 )
@@ -18,7 +19,11 @@ import (
 // PrefillChunkTokens budget, each Prefill call mixes at most that many
 // pending prompt tokens into the iteration, carrying partially
 // prefilled sequences across iterations so one long prompt can never
-// monopolise the loop and stall the decode batch's token cadence.
+// monopolise the loop and stall the decode batch's token cadence. With
+// EnableAdaptiveChunking the budget is no longer a constant: a
+// closed-loop controller re-derives it every iteration from the decode
+// batch's step-time target by inverting the cost model (see
+// adaptive.go).
 //
 // Time is virtual: the Stepper advances its clock by the engine cost
 // model's step durations. Admission is conservative — a request is
@@ -26,6 +31,14 @@ import (
 // no sequence can fail mid-flight. KV blocks are claimed lazily as
 // prefill chunks (and then decode tokens) actually consume them; the
 // reservation covers everything not yet claimed.
+//
+// The Stepper runs once per emitted token, so its bookkeeping is
+// allocation-lean: sequence states and per-iteration scratch (chunk
+// lists, metric buffers) come from sync.Pools shared across Stepper
+// instances, prompt block hashes are computed once per request, and
+// the admission capacity lookup is memoized per (request, trie
+// generation) so CanAdmitRequest followed by Admit walks the prefix
+// trie once, not twice.
 //
 // A Stepper is not safe for concurrent use; callers serialise
 // scheduling decisions, as vLLM's engine loop does.
@@ -40,13 +53,24 @@ type Stepper struct {
 	// process (0 = monolithic: every admitted prompt prefills in one
 	// batch). Chunked prefill is always priced token-packed
 	// (ChunkedPrefillTime), regardless of PackedPrefill: a chunk budget
-	// only makes sense for a varlen kernel.
+	// only makes sense for a varlen kernel. Ignored while adaptive
+	// chunking is enabled.
 	PrefillChunkTokens int
 
 	e   *Engine
 	mgr *kvcache.Manager
 
-	prefixCache bool // EnablePrefixCache sets it
+	prefixCache   bool             // EnablePrefixCache sets it
+	cacheAdaptive bool             // EnableAdaptivePrefixCache sets it
+	chunkCtl      *chunkController // nil = static chunk budget
+
+	memo lookupMemo // admission lookup memo (see lookupCost)
+
+	// Admission-epoch signals for the cache-sizing controller: reset by
+	// AdaptEpoch once per scheduler iteration.
+	epochAdmissions int
+	epochHits       int
+	epochBlocked    bool
 
 	now      float64
 	admitted []*sequence // admitted, prefilling (possibly mid-chunk)
@@ -61,15 +85,66 @@ type Stepper struct {
 	prefillTokens int64
 	lastDecodeEnd float64 // end of the previous decode step; -1 when the batch has emptied
 	maxDecodeGap  float64
+
+	lastPrefillElapsed float64 // virtual cost of the preceding Prefill call
+	stepEWMA           float64 // smoothed combined prefill+decode iteration time
+
+	sc *stepScratch
 }
 
 type sequence struct {
 	req       Request
+	hp        kvcache.HashedPrompt // precomputed block keys (prefix mode)
 	m         RequestMetrics
 	remaining int // output tokens still to produce
 	ctx       int // context length once prefilled (prompt, then +1 per decode)
 	prefilled int // prompt tokens prefilled so far (cached prefix + chunk progress)
 	reserved  int // blocks reserved beyond those allocated
+}
+
+// lookupMemo caches the most recent prefix-cache admission lookup. The
+// admission path probes the same request twice back to back
+// (CanAdmitRequest, then Admit); as long as the allocator's trie
+// generation is unchanged the memoized match is exact, so the second
+// trie walk — and every per-block content hash behind it — is skipped.
+// The precomputed prompt hash is keyed by request id alone: block keys
+// depend only on token content, which is immutable per request.
+type lookupMemo struct {
+	valid              bool
+	id                 int
+	gen                int64
+	matched, resurrect int
+	hp                 kvcache.HashedPrompt
+}
+
+// seqPool recycles sequence bookkeeping across requests and Stepper
+// instances: a steady-state serving loop admits and retires sequences
+// without allocating.
+var seqPool = sync.Pool{New: func() any { return new(sequence) }}
+
+func putSeq(q *sequence) {
+	*q = sequence{}
+	seqPool.Put(q)
+}
+
+// stepScratch holds one Stepper's per-iteration buffers: the carved
+// chunk list, the adaptive controller's probe carves, and the metric
+// slices Prefill and DecodeStep return. Pooled so per-trace Steppers
+// (benchmarks, compare runs) reuse each other's backing arrays.
+type stepScratch struct {
+	chunks []PrefillChunk
+	probe  []PrefillChunk
+	out    []RequestMetrics
+	fin    []RequestMetrics
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(stepScratch) }}
+
+func (s *Stepper) scratch() *stepScratch {
+	if s.sc == nil {
+		s.sc = scratchPool.Get().(*stepScratch)
+	}
+	return s.sc
 }
 
 // NewStepper builds a stepper over the engine's KV-cache plan with an
@@ -131,6 +206,23 @@ func (s *Stepper) PrefillTokens() int64 { return s.prefillTokens }
 // Gaps across an empty batch (idle stretches) do not count.
 func (s *Stepper) MaxDecodeGap() float64 { return s.maxDecodeGap }
 
+// StepTimeEWMA returns the smoothed combined prefill+decode time of
+// recent scheduler iterations (prefill-only iterations against an
+// empty decode batch count as their own samples) — the signal the
+// adaptive chunk controller is holding under its target. 0 before the
+// first iteration completes.
+func (s *Stepper) StepTimeEWMA() float64 { return s.stepEWMA }
+
+// observeStepTime folds one completed iteration into the EWMA, seeding
+// it with the first sample.
+func (s *Stepper) observeStepTime(iter float64) {
+	if s.stepEWMA == 0 {
+		s.stepEWMA = iter
+		return
+	}
+	s.stepEWMA = stepEWMAAlpha*iter + (1-stepEWMAAlpha)*s.stepEWMA
+}
+
 // EnablePrefixCache turns on cross-request KV prefix reuse for
 // requests that carry prompt tokens: admission claims content-matched
 // prefix blocks by bumping refcounts instead of allocating, and
@@ -147,6 +239,51 @@ func (s *Stepper) EnablePrefixCache(capBlocks int) error {
 
 // PrefixCacheEnabled reports whether cross-request prefix reuse is on.
 func (s *Stepper) PrefixCacheEnabled() bool { return s.prefixCache }
+
+// EnableAdaptivePrefixCache replaces the static cached-pool bound with
+// the closed-loop sizing controller in internal/kvcache: the pool
+// shrinks (evicting leaf-first) while admissions queue on KV capacity
+// and grows while prefix hits keep arriving. minBlocks/maxBlocks bound
+// the pool (0 = defaults: 1 and the whole plan). The serve loop drives
+// the controller by calling AdaptEpoch once per iteration.
+func (s *Stepper) EnableAdaptivePrefixCache(minBlocks, maxBlocks int) error {
+	if !s.prefixCache {
+		return fmt.Errorf("engine: adaptive cache sizing needs the prefix cache enabled")
+	}
+	if err := s.mgr.EnableAdaptivePrefixCache(minBlocks, maxBlocks); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	s.cacheAdaptive = true
+	return nil
+}
+
+// AdaptivePrefixCache reports whether closed-loop pool sizing is on.
+func (s *Stepper) AdaptivePrefixCache() bool { return s.cacheAdaptive }
+
+// AdaptEpoch closes one admission epoch: the cache-sizing controller
+// consumes the epoch's admission outcomes (prompt-carrying admissions,
+// prefix hits, whether any admission queued on capacity) and resizes
+// the cached pool. The live scheduler calls it once per loop
+// iteration; a no-op unless EnableAdaptivePrefixCache is on.
+func (s *Stepper) AdaptEpoch() {
+	if s.cacheAdaptive {
+		s.mgr.AdaptCacheEpoch(s.epochAdmissions, s.epochHits, s.epochBlocked)
+	}
+	s.epochAdmissions, s.epochHits, s.epochBlocked = 0, 0, false
+}
+
+// CachePoolTarget returns the cached-pool bound currently in force
+// (static configuration or the sizing controller's latest target;
+// 0 = unbounded).
+func (s *Stepper) CachePoolTarget() int { return s.mgr.CachePoolTarget() }
+
+// CacheHitRateEWMA returns the sizing controller's smoothed admission
+// hit rate (0 when adaptive sizing is off).
+func (s *Stepper) CacheHitRateEWMA() float64 { return s.mgr.CacheHitRateEWMA() }
+
+// CachePressureEWMA returns the sizing controller's smoothed
+// capacity-pressure signal (0 when adaptive sizing is off).
+func (s *Stepper) CachePressureEWMA() float64 { return s.mgr.CachePressureEWMA() }
 
 // PrefixHits returns the number of admissions that reused at least one
 // cached prefix block.
@@ -187,12 +324,29 @@ func (s *Stepper) Lookup(r Request) int {
 // blocks would be resurrected from the refcount-zero cached pool —
 // blocks FreeBlocks counts as free capacity, so admission must charge
 // them like fresh allocations (crediting them twice would over-admit
-// and leave the reservation physically unbacked).
+// and leave the reservation physically unbacked). The result is
+// memoized per (request id, allocator generation): the usual
+// CanAdmitRequest → Admit pair walks the trie once. Request ids must
+// be unique among concurrently probed requests, which the schedulers
+// guarantee.
 func (s *Stepper) lookupCost(r Request) (matched, resurrect int) {
 	if !s.prefixCache || len(r.Prompt) == 0 {
 		return 0, 0
 	}
-	return s.mgr.LookupCost(r.Prompt)
+	gen := s.mgr.Generation()
+	if s.memo.valid && s.memo.id == r.ID {
+		if s.memo.gen == gen {
+			return s.memo.matched, s.memo.resurrect
+		}
+	} else {
+		// Block content keys depend only on the tokens: hash them once
+		// per request, then every re-probe under a new generation
+		// re-walks the trie without hashing.
+		s.memo = lookupMemo{valid: true, id: r.ID, hp: s.mgr.HashPrompt(r.Prompt)}
+	}
+	s.memo.gen = gen
+	s.memo.matched, s.memo.resurrect = s.mgr.LookupCostHashed(s.memo.hp)
+	return s.memo.matched, s.memo.resurrect
 }
 
 // fits reports whether a request with the given prefix match can be
@@ -221,14 +375,20 @@ func (s *Stepper) CanAdmit(promptLen, outputLen int) bool {
 // unreserved KV blocks, after crediting the prefix-cache blocks its
 // prompt tokens already match (matches resurrected from the cached
 // pool are charged, not credited — they consume free capacity). The
-// trie walk (which hashes every matched block) runs only when the
-// full uncredited footprint does not already fit.
+// trie walk runs only when the full uncredited footprint does not
+// already fit, and its result is memoized for the Admit that follows.
+// A false result is recorded as capacity pressure for the cache-sizing
+// controller's current admission epoch.
 func (s *Stepper) CanAdmitRequest(r Request) bool {
 	if s.CanAdmit(r.PromptLen, r.OutputLen) {
 		return true
 	}
 	matched, resurrect := s.lookupCost(r)
-	return s.fits(r, matched, resurrect)
+	if s.fits(r, matched, resurrect) {
+		return true
+	}
+	s.epochBlocked = true
+	return false
 }
 
 // CachedTokensOf returns how many prompt tokens an in-flight sequence
@@ -271,22 +431,31 @@ func (s *Stepper) Admit(r Request) error {
 			r.ID, r.PromptLen+r.OutputLen)
 	}
 	res := s.reservationFor(r, matched)
+	var hp kvcache.HashedPrompt
+	if s.prefixCache && len(r.Prompt) > 0 {
+		hp = s.memo.hp // lookupCost populated it for this request
+		s.epochAdmissions++
+	}
 	if matched > 0 {
-		claimed, err := s.mgr.ClaimPrefix(r.ID, r.Prompt)
+		claimed, err := s.mgr.ClaimPrefixHashed(r.ID, hp)
 		if err != nil {
 			return fmt.Errorf("engine: request %d prefix claim: %w", r.ID, err)
 		}
 		matched = claimed // the walk is deterministic; claimed == matched
+		s.epochHits++
 	}
 	s.reserved += res
-	s.admitted = append(s.admitted, &sequence{
+	q := seqPool.Get().(*sequence)
+	*q = sequence{
 		req:       r,
+		hp:        hp,
 		m:         RequestMetrics{ID: r.ID, Arrival: r.ArrivalSeconds, Admitted: s.now, CachedTokens: matched},
 		remaining: r.OutputLen,
 		ctx:       r.PromptLen,
 		prefilled: matched,
 		reserved:  res,
-	})
+	}
+	s.admitted = append(s.admitted, q)
 	return nil
 }
 
@@ -330,7 +499,8 @@ func (s *Stepper) Preempt(id int) (Request, bool) {
 	return Request{}, false
 }
 
-// evict releases a preempted sequence's capacity and token accounting.
+// evict releases a preempted sequence's capacity and token accounting,
+// returning its bookkeeping to the pool.
 func (s *Stepper) evict(q *sequence) Request {
 	s.reserved -= q.reserved
 	if q.prefilled > 0 {
@@ -342,28 +512,17 @@ func (s *Stepper) evict(q *sequence) Request {
 	// OutputTokens counts useful tokens only; a preempted sequence's
 	// partial output is recomputed after re-admission.
 	s.outputTokens -= int64(q.req.OutputLen - q.remaining)
-	return q.req
+	req := q.req
+	putSeq(q)
+	return req
 }
 
-// Prefill runs one prefill iteration over the admitted queue in
-// admission order. With a chunk budget it processes at most
-// PrefillChunkTokens prompt tokens — finishing the partially prefilled
-// head first — and leaves the rest for later iterations; without one
-// it prefills every admitted prompt in a single batch. Sequences whose
-// prompt completes this iteration emit their first token and move to
-// the decoding batch. It returns the metrics of those completing
-// sequences (TTFT now known) and the elapsed virtual seconds (0, nil
-// when nothing is waiting).
-func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
-	if len(s.admitted) == 0 {
-		return nil, 0
-	}
-	budget := s.PrefillChunkTokens
+// carve slices this iteration's prefill chunks off the admitted queue
+// in admission order, appending to dst: chunk i belongs to
+// s.admitted[i]. A non-positive budget carves every pending prompt
+// whole (monolithic prefill).
+func (s *Stepper) carve(budget int, dst []PrefillChunk) []PrefillChunk {
 	chunked := budget > 0
-
-	// Carve this iteration's chunks in admission order.
-	var chunks []PrefillChunk
-	var touched []*sequence
 	for _, q := range s.admitted {
 		if chunked && budget <= 0 {
 			break
@@ -372,23 +531,59 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 		if chunked && c > budget {
 			c = budget
 		}
-		chunks = append(chunks, PrefillChunk{
+		dst = append(dst, PrefillChunk{
 			Start:  q.prefilled,
 			Tokens: c,
 			Final:  q.prefilled+c == q.req.PromptLen,
 		})
-		touched = append(touched, q)
 		if chunked {
 			budget -= c
 		}
 	}
+	return dst
+}
+
+// Prefill runs one prefill iteration over the admitted queue in
+// admission order. With a chunk budget (static, or re-derived this
+// iteration by the adaptive controller) it processes at most that many
+// prompt tokens — finishing the partially prefilled head first — and
+// leaves the rest for later iterations; without one it prefills every
+// admitted prompt in a single batch. Sequences whose prompt completes
+// this iteration emit their first token and move to the decoding
+// batch. It returns the metrics of those completing sequences (TTFT
+// now known) and the elapsed virtual seconds (0, nil when nothing is
+// waiting). The returned slice is reused by the next Prefill call.
+func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
+	if len(s.admitted) == 0 {
+		return nil, 0
+	}
+	// A pending prefill elapsed with the decode batch empty means the
+	// previous Prefill call never got a decode step paired with it:
+	// that was a whole (prefill-only) scheduler iteration of its own.
+	// Flush it into the step-time EWMA instead of letting a long
+	// chunked warm-up accumulate into the next decode's sample.
+	if s.lastPrefillElapsed > 0 && len(s.active) == 0 {
+		s.observeStepTime(s.lastPrefillElapsed)
+		s.lastPrefillElapsed = 0
+	}
+	budget := s.PrefillChunkTokens
+	if s.chunkCtl != nil {
+		budget = s.adaptChunkBudget()
+	}
+	chunked := budget > 0
+
+	// Carve this iteration's chunks in admission order.
+	sc := s.scratch()
+	sc.chunks = s.carve(budget, sc.chunks[:0])
+	chunks := sc.chunks
 
 	// Claim the chunk tokens' KV blocks out of each sequence's
 	// reservation. The conservative admission reservation guarantees
 	// the physical blocks are there. Consumption is measured by the
 	// allocator's pop counter, which — unlike block-table growth — also
 	// charges the copy-on-write replacement of a shared tail block.
-	for i, q := range touched {
+	for i := range chunks {
+		q := s.admitted[i]
 		pops := s.mgr.Pops()
 		var err error
 		if q.prefilled == 0 {
@@ -411,7 +606,7 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 		if s.prefixCache && len(q.req.Prompt) > 0 {
 			// Advertise the now-complete full prompt blocks so later
 			// requests sharing this prefix reuse them mid-prefill.
-			if err := s.mgr.CommitPrefix(q.req.ID, q.req.Prompt, q.prefilled); err != nil {
+			if err := s.mgr.CommitPrefixHashed(q.req.ID, q.hp, q.prefilled); err != nil {
 				panic(fmt.Sprintf("engine: prefix commit for request %d: %v", q.req.ID, err))
 			}
 		}
@@ -426,20 +621,21 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 		elapsed = s.e.ChunkedPrefillTime(chunks)
 	} else {
 		maxPrompt := 0
-		for _, q := range touched {
-			if q.req.PromptLen > maxPrompt {
-				maxPrompt = q.req.PromptLen
+		for i := range chunks {
+			if p := s.admitted[i].req.PromptLen; p > maxPrompt {
+				maxPrompt = p
 			}
 		}
-		elapsed = s.e.PrefillTime(len(touched), maxPrompt)
+		elapsed = s.e.PrefillTime(len(chunks), maxPrompt)
 	}
 	s.now += elapsed
 	s.prefillIters++
+	s.lastPrefillElapsed += elapsed
 
 	// Completing sequences emit their first token and start decoding;
 	// partially prefilled ones keep their queue position, so the head
 	// finishes before the budget feeds the next prompt.
-	var out []RequestMetrics
+	out := sc.out[:0]
 	keep := s.admitted[:0]
 	for _, q := range s.admitted {
 		if q.prefilled < q.req.PromptLen {
@@ -454,6 +650,7 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 		out = append(out, q.m)
 	}
 	s.admitted = keep
+	sc.out = out
 	if len(s.active) > s.peak {
 		s.peak = len(s.active)
 	}
@@ -465,7 +662,8 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 // appends one token (claiming KV blocks at block boundaries), and
 // finished sequences release their capacity immediately. It returns
 // the metrics of sequences that finished this step and the elapsed
-// virtual seconds.
+// virtual seconds. The returned slice is reused by the next DecodeStep
+// call.
 func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 	if len(s.active) == 0 {
 		return nil, 0, nil
@@ -485,7 +683,13 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 	}
 	s.lastDecodeEnd = s.now
 
-	var finished []RequestMetrics
+	// One scheduler iteration = the prefill chunk (if any) plus this
+	// decode step; smooth it for the stats surface.
+	s.observeStepTime(s.lastPrefillElapsed + elapsed)
+	s.lastPrefillElapsed = 0
+
+	sc := s.scratch()
+	finished := sc.fin[:0]
 	next := s.active[:0]
 	for _, q := range s.active {
 		if q.remaining > 0 {
@@ -518,11 +722,13 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 			if err := s.mgr.Free(q.req.ID); err != nil {
 				return nil, elapsed, err
 			}
+			putSeq(q)
 		} else {
 			next = append(next, q)
 		}
 	}
 	s.active = next
+	sc.fin = finished
 	if len(s.active) == 0 {
 		// The batch has drained: a later gap to a fresh batch's first
 		// step is idle time, not a cadence stall.
@@ -532,9 +738,19 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 }
 
 // Close verifies the allocator after a drained run: no block may be
-// leaked or double-owned. It must only be called once every admitted
-// sequence has finished.
+// leaked or double-owned, and the per-iteration scratch returns to the
+// shared pool (metric slices previously returned by Prefill and
+// DecodeStep are invalid afterwards). It must only be called once
+// every admitted sequence has finished.
 func (s *Stepper) Close() error {
+	if s.sc != nil {
+		s.sc.chunks = s.sc.chunks[:0]
+		s.sc.probe = s.sc.probe[:0]
+		s.sc.out = s.sc.out[:0]
+		s.sc.fin = s.sc.fin[:0]
+		scratchPool.Put(s.sc)
+		s.sc = nil
+	}
 	if err := s.mgr.CheckInvariants(); err != nil {
 		return fmt.Errorf("engine: allocator corrupted: %w", err)
 	}

@@ -1,0 +1,32 @@
+package gpu
+
+// InvertCost solves the scheduling inverse of a monotone cost model:
+// given a per-step time budget and a nondecreasing cost function f over
+// an integer knob (tokens, batch size, split count), it returns the
+// largest x in [lo, hi] with f(x) <= budget. When even f(lo) exceeds
+// the budget it returns lo — callers clamp to their floor, since a
+// scheduler must still make progress. The adaptive chunked-prefill
+// controller uses it every iteration to turn "how long may this step
+// take" into "how many prompt tokens may this step mix in", so f should
+// be cheap; it is evaluated O(log(hi−lo)) times.
+func InvertCost(lo, hi int, budget float64, f func(int) float64) int {
+	if hi < lo {
+		hi = lo
+	}
+	if f(lo) > budget {
+		return lo
+	}
+	if f(hi) <= budget {
+		return hi
+	}
+	// Invariant: f(lo) <= budget < f(hi).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if f(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,47 @@
+package gpu
+
+import "testing"
+
+func TestInvertCost(t *testing.T) {
+	linear := func(x int) float64 { return float64(x) }
+	cases := []struct {
+		name   string
+		lo, hi int
+		budget float64
+		f      func(int) float64
+		want   int
+	}{
+		{"interior", 1, 100, 37.5, linear, 37},
+		{"exact boundary", 1, 100, 64, linear, 64},
+		{"budget above ceiling", 1, 100, 1e9, linear, 100},
+		{"budget below floor", 10, 100, 3, linear, 10},
+		{"degenerate range", 5, 5, 100, linear, 5},
+		{"inverted range clamps", 8, 2, 100, linear, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := InvertCost(tc.lo, tc.hi, tc.budget, tc.f); got != tc.want {
+				t.Fatalf("InvertCost(%d, %d, %v) = %d, want %d", tc.lo, tc.hi, tc.budget, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestInvertCostAgainstCostModel closes the loop on the real kernel
+// pricing the adaptive chunk controller inverts: the returned token
+// count must cost no more than the budget, and one more token must
+// cost more (or be the ceiling).
+func TestInvertCostAgainstCostModel(t *testing.T) {
+	spec := MustByName("RTX4090")
+	cost := func(n int) float64 {
+		return CuBLAS(spec, Shape{M: 4096, K: 4096, N: n}).Total
+	}
+	budget := cost(512) // an achievable interior target
+	got := InvertCost(1, 4096, budget, cost)
+	if cost(got) > budget {
+		t.Fatalf("InvertCost returned %d tokens costing %.9fs > budget %.9fs", got, cost(got), budget)
+	}
+	if got < 4096 && cost(got+1) <= budget {
+		t.Fatalf("InvertCost returned %d but %d still fits the budget", got, got+1)
+	}
+}

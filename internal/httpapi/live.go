@@ -38,6 +38,14 @@ import (
 // "prefix_tokens_saved" (router deployments aggregate them
 // fleet-wide).
 //
+// Deployments running the adaptive controllers additionally surface
+// their live operating point on /v1/stats: "chunk_budget_tokens" (with
+// the fleet min/max spread under a router), the step-time target and
+// its observed EWMA ("target_step_time_seconds",
+// "step_time_ewma_seconds"), and the prefix-cache pool target plus the
+// sizing controller's EWMAs ("cache_pool_target_blocks",
+// "cache_hit_rate_ewma", "cache_pressure_ewma").
+//
 // With "stream": true the response is NDJSON: one line per scheduler
 // event (admitted, first_token, preempted, finished) followed by a
 // final result line, flushed as they happen. Without streaming, the

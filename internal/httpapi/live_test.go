@@ -417,3 +417,58 @@ func TestMethodAndMalformedJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsExposesAdaptiveControllers: a deployment running both
+// closed-loop controllers must surface their operating point — current
+// chunk budget, step-time target and EWMA, cache pool target and the
+// controller EWMAs — on /v1/stats under stable wire names.
+func TestStatsExposesAdaptiveControllers(t *testing.T) {
+	srv, _ := newLiveServer(t, serve.Config{
+		QueueDepth: 8, AdaptiveChunking: true, TargetStepTime: 0.04,
+		PrefixCache: true, AdaptivePrefixCache: true,
+	})
+	prompt := make([]int, 200)
+	for i := range prompt {
+		prompt[i] = 31 + i
+	}
+	if resp, body := doJSON(t, srv, http.MethodPost, "/v1/generate", GenerateRequest{
+		Prompt: prompt, OutputLen: 8,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := doJSON(t, srv, http.MethodGet, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.AdaptiveChunking || !st.AdaptivePrefixCache {
+		t.Errorf("adaptive flags missing from stats: %s", body)
+	}
+	if st.TargetStepTime != 0.04 {
+		t.Errorf("target_step_time_seconds = %v, want 0.04", st.TargetStepTime)
+	}
+	if st.ChunkBudget <= 0 || st.ChunkBudgetMin <= 0 || st.ChunkBudgetMax < st.ChunkBudgetMin {
+		t.Errorf("chunk budget fields incoherent: budget=%d min=%d max=%d",
+			st.ChunkBudget, st.ChunkBudgetMin, st.ChunkBudgetMax)
+	}
+	if st.StepTimeEWMA <= 0 {
+		t.Errorf("step_time_ewma_seconds = %v, want > 0 after a served request", st.StepTimeEWMA)
+	}
+	if st.CachePoolTarget <= 0 {
+		t.Errorf("cache_pool_target_blocks = %d, want > 0 under adaptive sizing", st.CachePoolTarget)
+	}
+	// The raw JSON must carry the wire field names the dashboards bind to.
+	for _, key := range []string{
+		"adaptive_chunking", "chunk_budget_tokens", "chunk_budget_min_tokens", "chunk_budget_max_tokens",
+		"target_step_time_seconds", "step_time_ewma_seconds",
+		"adaptive_prefix_cache", "cache_pool_target_blocks", "cache_hit_rate_ewma", "cache_pressure_ewma",
+	} {
+		if !bytes.Contains(body, []byte(key)) {
+			t.Errorf("stats body missing %q: %s", key, body)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package kvcache
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DefaultBlockTokens is the paged-attention block granularity.
@@ -25,6 +26,28 @@ type Config struct {
 	TotalBlocks int
 }
 
+// seqState is one live sequence's allocation: its block table and token
+// count together, so the scheduler hot path touches one map entry (and
+// one pooled allocation) per sequence instead of two.
+type seqState struct {
+	table  []int
+	tokens int
+}
+
+// seqStatePool recycles sequence states (and, through them, block-table
+// backing arrays) across sequences and across Manager instances, so a
+// steady-state serving loop admits and retires sequences without
+// allocating.
+var seqStatePool = sync.Pool{New: func() any { return new(seqState) }}
+
+func getSeqState() *seqState { return seqStatePool.Get().(*seqState) }
+
+func putSeqState(st *seqState) {
+	st.table = st.table[:0]
+	st.tokens = 0
+	seqStatePool.Put(st)
+}
+
 // Manager allocates KV blocks to sequences. It is not safe for
 // concurrent use; the serving engine serialises scheduler decisions,
 // as vLLM's does.
@@ -34,14 +57,14 @@ type Config struct {
 // blocks (see prefix.go); without it, every block has exactly one
 // owner and behaviour is unchanged.
 type Manager struct {
-	cfg       Config
-	freeList  []int
-	tables    map[int][]int // seqID → block table
-	seqTokens map[int]int   // seqID → token count
+	cfg      Config
+	freeList []int
+	seqs     map[int]*seqState
 
 	prefix *prefixIndex // nil = prefix caching off
 	refcnt []int        // per-block table references (prefix mode only)
 	pops   int64        // lifetime physical block claims
+	gen    int64        // bumped on mutations that can change prefix lookups
 }
 
 // NewManager builds a manager with all blocks free.
@@ -53,10 +76,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("kvcache: total blocks %d must be positive", cfg.TotalBlocks)
 	}
 	m := &Manager{
-		cfg:       cfg,
-		freeList:  make([]int, cfg.TotalBlocks),
-		tables:    make(map[int][]int),
-		seqTokens: make(map[int]int),
+		cfg:      cfg,
+		freeList: make([]int, cfg.TotalBlocks),
+		seqs:     make(map[int]*seqState),
 	}
 	// Free list in descending order so allocation pops ascending ids.
 	for i := range m.freeList {
@@ -85,10 +107,17 @@ func (m *Manager) UsedBlocks() int { return m.cfg.TotalBlocks - m.FreeBlocks() }
 // table's length alone undercounts copy-on-write claims.
 func (m *Manager) Pops() int64 { return m.pops }
 
+// Generation returns a counter bumped on every mutation that can change
+// the result of a prefix lookup (trie registration, eviction, refcount
+// transitions, pool resizing). A scheduler memoizes LookupCost per
+// (request, generation): as long as the generation is unchanged, the
+// memoized match is exact and the trie walk can be skipped.
+func (m *Manager) Generation() int64 { return m.gen }
+
 // Sequences returns the ids of live sequences in ascending order.
 func (m *Manager) Sequences() []int {
-	out := make([]int, 0, len(m.tables))
-	for id := range m.tables {
+	out := make([]int, 0, len(m.seqs))
+	for id := range m.seqs {
 		out = append(out, id)
 	}
 	sort.Ints(out)
@@ -96,15 +125,20 @@ func (m *Manager) Sequences() []int {
 }
 
 // Tokens returns the token count of a sequence (0 if absent).
-func (m *Manager) Tokens(seqID int) int { return m.seqTokens[seqID] }
+func (m *Manager) Tokens(seqID int) int {
+	if st := m.seqs[seqID]; st != nil {
+		return st.tokens
+	}
+	return 0
+}
 
 // BlockTable returns a copy of the sequence's block table.
 func (m *Manager) BlockTable(seqID int) ([]int, error) {
-	t, ok := m.tables[seqID]
+	st, ok := m.seqs[seqID]
 	if !ok {
 		return nil, fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
-	return append([]int(nil), t...), nil
+	return append([]int(nil), st.table...), nil
 }
 
 // BlocksFor returns the number of blocks needed to hold the given
@@ -118,7 +152,7 @@ func BlocksFor(tokens, blockTokens int) int {
 // claiming all blocks it needs. It fails atomically (no blocks leak)
 // when capacity is insufficient or the id is in use.
 func (m *Manager) Allocate(seqID, numTokens int) error {
-	if _, dup := m.tables[seqID]; dup {
+	if _, dup := m.seqs[seqID]; dup {
 		return fmt.Errorf("kvcache: sequence %d already allocated", seqID)
 	}
 	if numTokens <= 0 {
@@ -128,15 +162,16 @@ func (m *Manager) Allocate(seqID, numTokens int) error {
 	if need > m.FreeBlocks() {
 		return fmt.Errorf("kvcache: need %d blocks for %d tokens, only %d free", need, numTokens, m.FreeBlocks())
 	}
-	table := make([]int, need)
-	for i := range table {
-		table[i] = m.pop()
+	st := getSeqState()
+	for i := 0; i < need; i++ {
+		b := m.pop()
 		if m.refcnt != nil {
-			m.refcnt[table[i]] = 1
+			m.refcnt[b] = 1
 		}
+		st.table = append(st.table, b)
 	}
-	m.tables[seqID] = table
-	m.seqTokens[seqID] = numTokens
+	st.tokens = numTokens
+	m.seqs[seqID] = st
 	return nil
 }
 
@@ -150,16 +185,16 @@ func (m *Manager) AppendToken(seqID int) error { return m.Extend(seqID, 1) }
 // fails atomically (no blocks claimed) when the free list cannot cover
 // the growth.
 func (m *Manager) Extend(seqID, n int) error {
-	table, ok := m.tables[seqID]
+	st, ok := m.seqs[seqID]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
 	if n <= 0 {
 		return fmt.Errorf("kvcache: sequence %d extension must be positive, got %d", seqID, n)
 	}
-	tokens := m.seqTokens[seqID] + n
-	need := BlocksFor(tokens, m.cfg.BlockTokens) - len(table)
-	cow := m.cowNeeded(seqID)
+	tokens := st.tokens + n
+	need := BlocksFor(tokens, m.cfg.BlockTokens) - len(st.table)
+	cow := m.cowNeeded(st)
 	total := need
 	if cow {
 		total++ // the private copy of the shared write-target block
@@ -172,18 +207,16 @@ func (m *Manager) Extend(seqID, n int) error {
 		// The growth writes into a partially filled block that is
 		// shared (or advertised by the prefix trie): copy it first so
 		// shared prefix content is never mutated.
-		m.copyOnWrite(seqID)
-		table = m.tables[seqID]
+		m.copyOnWrite(st)
 	}
 	for i := 0; i < need; i++ {
 		b := m.pop()
 		if m.refcnt != nil {
 			m.refcnt[b] = 1
 		}
-		table = append(table, b)
+		st.table = append(st.table, b)
 	}
-	m.tables[seqID] = table
-	m.seqTokens[seqID] = tokens
+	st.tokens = tokens
 	return nil
 }
 
@@ -193,20 +226,20 @@ func (m *Manager) Extend(seqID, n int) error {
 // alive, and blocks reaching refcount zero park in the cached pool
 // while the trie advertises their content.
 func (m *Manager) Free(seqID int) error {
-	table, ok := m.tables[seqID]
+	st, ok := m.seqs[seqID]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
 	if m.prefix != nil {
-		for _, b := range table {
+		for _, b := range st.table {
 			m.releaseBlock(b)
 		}
 		delete(m.prefix.committed, seqID)
 	} else {
-		m.freeList = append(m.freeList, table...)
+		m.freeList = append(m.freeList, st.table...)
 	}
-	delete(m.tables, seqID)
-	delete(m.seqTokens, seqID)
+	delete(m.seqs, seqID)
+	putSeqState(st)
 	return nil
 }
 
@@ -236,8 +269,8 @@ func (m *Manager) pop() int {
 // mutation batch.
 func (m *Manager) CheckInvariants() error {
 	refs := make(map[int]int, m.cfg.TotalBlocks)
-	for id, table := range m.tables {
-		for _, b := range table {
+	for id, st := range m.seqs {
+		for _, b := range st.table {
 			if b < 0 || b >= m.cfg.TotalBlocks {
 				return fmt.Errorf("kvcache: block %d out of range", b)
 			}
@@ -246,10 +279,10 @@ func (m *Manager) CheckInvariants() error {
 				return fmt.Errorf("kvcache: block %d double-owned without prefix sharing", b)
 			}
 		}
-		need := BlocksFor(m.seqTokens[id], m.cfg.BlockTokens)
-		if need != len(table) {
+		need := BlocksFor(st.tokens, m.cfg.BlockTokens)
+		if need != len(st.table) {
 			return fmt.Errorf("kvcache: seq %d holds %d blocks for %d tokens (need %d)",
-				id, len(table), m.seqTokens[id], need)
+				id, len(st.table), st.tokens, need)
 		}
 	}
 	for _, b := range m.freeList {

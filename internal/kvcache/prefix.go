@@ -26,13 +26,23 @@ import (
 // prefixNode is one block of cached prompt content in the prefix trie.
 // The path from the root to a node spells a block-aligned prompt
 // prefix; children are keyed by the exact token content of the next
-// block, so matching is collision-free content addressing.
+// block, so matching is collision-free content addressing. The child
+// map is allocated on first insertion — most nodes are leaves (unique
+// prompt tails), and reads of a nil map are free.
 type prefixNode struct {
 	parent   *prefixNode
-	children map[string]*prefixNode
-	key      string // content key in parent.children ("" for the root)
-	block    int    // physical block holding this content (a full block)
-	lastUse  int64  // LRU tick of the last claim/commit
+	children map[string]*prefixNode // nil until the first child registers
+	key      string                 // content key in parent.children ("" for the root)
+	block    int                    // physical block holding this content (a full block)
+	lastUse  int64                  // LRU tick of the last claim/commit
+}
+
+// addChild links c under n, allocating the child map lazily.
+func (n *prefixNode) addChild(key string, c *prefixNode) {
+	if n.children == nil {
+		n.children = make(map[string]*prefixNode)
+	}
+	n.children[key] = c
 }
 
 // prefixIndex is the Manager's prefix-cache state.
@@ -45,10 +55,15 @@ type prefixIndex struct {
 	tick      int64
 	shared    int // blocks with refcount > 1, maintained on transitions
 
+	ctl *cacheCtl // adaptive pool sizing (nil = static cap)
+
+	walkScratch []*prefixNode // reusable matched-chain buffer for walk
+
 	hits        int64 // ClaimPrefix calls that matched ≥ 1 block
 	tokensSaved int64 // prompt tokens served from cache
 	evictions   int64 // cached blocks reclaimed under pressure or cap
 	cowCopies   int64 // shared blocks copied before a write
+	walks       int64 // trie walks executed (lookup, claim, probe)
 }
 
 // commitMark remembers how deep a sequence's prompt has already been
@@ -69,6 +84,34 @@ func contentKey(tokens []int) string {
 	return string(b)
 }
 
+// HashedPrompt is a tokenised prompt whose per-block content keys were
+// computed once up front, so every later trie walk over it — the
+// admission capacity check, the claim, and each per-chunk commit — is
+// pure map lookups with no hashing. Build it with Manager.HashPrompt
+// and reuse it for the request's whole lifetime; the keys depend only
+// on the token content, never on trie state.
+type HashedPrompt struct {
+	tokens []int
+	keys   []string // one key per full block of the prompt
+}
+
+// Len returns the prompt's token count.
+func (hp HashedPrompt) Len() int { return len(hp.tokens) }
+
+// Tokens returns the underlying token ids (not a copy).
+func (hp HashedPrompt) Tokens() []int { return hp.tokens }
+
+// HashPrompt precomputes a prompt's per-block content keys at the
+// manager's block granularity.
+func (m *Manager) HashPrompt(tokens []int) HashedPrompt {
+	b := m.cfg.BlockTokens
+	keys := make([]string, len(tokens)/b)
+	for i := range keys {
+		keys[i] = contentKey(tokens[i*b : (i+1)*b])
+	}
+	return HashedPrompt{tokens: tokens, keys: keys}
+}
+
 // EnablePrefixCache turns on cross-request prefix reuse. capBlocks
 // bounds how many refcount-zero blocks the cache may keep parked
 // (0 = unbounded: every free block is a candidate prefix block). It
@@ -77,11 +120,11 @@ func (m *Manager) EnablePrefixCache(capBlocks int) error {
 	if capBlocks < 0 {
 		return fmt.Errorf("kvcache: prefix cache capacity %d must be non-negative", capBlocks)
 	}
-	if len(m.tables) != 0 || len(m.freeList) != m.cfg.TotalBlocks {
+	if len(m.seqs) != 0 || len(m.freeList) != m.cfg.TotalBlocks {
 		return fmt.Errorf("kvcache: prefix cache must be enabled on an empty manager")
 	}
 	m.prefix = &prefixIndex{
-		root:      &prefixNode{children: make(map[string]*prefixNode), block: -1},
+		root:      &prefixNode{block: -1},
 		byBlock:   make(map[int]*prefixNode),
 		cached:    make(map[int]*prefixNode),
 		committed: make(map[int]commitMark),
@@ -93,6 +136,31 @@ func (m *Manager) EnablePrefixCache(capBlocks int) error {
 
 // PrefixCacheEnabled reports whether cross-request prefix reuse is on.
 func (m *Manager) PrefixCacheEnabled() bool { return m.prefix != nil }
+
+// PrefixCacheCap returns the cached-pool bound (0 = unbounded).
+func (m *Manager) PrefixCacheCap() int {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.cap
+}
+
+// SetPrefixCacheCap resizes the cached-pool bound at runtime
+// (0 = unbounded). Shrinking evicts LRU leaf-first immediately, so the
+// pool obeys the new bound on return — the adaptive sizing controller's
+// actuator, also usable directly by operators.
+func (m *Manager) SetPrefixCacheCap(capBlocks int) error {
+	if m.prefix == nil {
+		return fmt.Errorf("kvcache: prefix cache not enabled")
+	}
+	if capBlocks < 0 {
+		return fmt.Errorf("kvcache: prefix cache capacity %d must be non-negative", capBlocks)
+	}
+	m.prefix.cap = capBlocks
+	m.gen++
+	m.enforceCap()
+	return nil
+}
 
 // CachedBlocks returns the number of refcount-zero blocks parked in
 // the prefix cache (reclaimable on demand).
@@ -141,6 +209,17 @@ func (m *Manager) PrefixEvictions() int64 {
 	return m.prefix.evictions
 }
 
+// Walks returns the lifetime count of prefix-trie walks (lookups,
+// claims and controller probes). Schedulers memoize lookups per trie
+// generation; this counter is how tests prove the duplicated admission
+// walk stays eliminated.
+func (m *Manager) Walks() int64 {
+	if m.prefix == nil {
+		return 0
+	}
+	return m.prefix.walks
+}
+
 // CowCopies returns the number of copy-on-write block copies taken
 // before a write into a shared block.
 func (m *Manager) CowCopies() int64 {
@@ -172,7 +251,16 @@ func (m *Manager) LookupCost(prompt []int) (matched, resurrect int) {
 	if m.prefix == nil {
 		return 0, 0
 	}
-	matched, nodes := m.walk(prompt)
+	return m.LookupCostHashed(m.HashPrompt(prompt))
+}
+
+// LookupCostHashed is LookupCost over a prompt whose block keys were
+// precomputed with HashPrompt, so the walk hashes nothing.
+func (m *Manager) LookupCostHashed(hp HashedPrompt) (matched, resurrect int) {
+	if m.prefix == nil {
+		return 0, 0
+	}
+	matched, nodes := m.walk(hp)
 	for _, n := range nodes {
 		if m.refcnt[n.block] == 0 {
 			resurrect++
@@ -182,13 +270,16 @@ func (m *Manager) LookupCost(prompt []int) (matched, resurrect int) {
 }
 
 // walk returns the capped matched-token count and the matched blocks.
-func (m *Manager) walk(prompt []int) (int, []*prefixNode) {
+// The returned slice is the index's reusable scratch, valid until the
+// next walk; callers consume it before any further lookup.
+func (m *Manager) walk(hp HashedPrompt) (int, []*prefixNode) {
+	m.prefix.walks++
 	b := m.cfg.BlockTokens
 	node := m.prefix.root
 	matched := 0
-	var nodes []*prefixNode
-	for matched+b <= len(prompt) {
-		child := node.children[contentKey(prompt[matched:matched+b])]
+	nodes := m.prefix.walkScratch[:0]
+	for i := 0; i < len(hp.keys); i++ {
+		child := node.children[hp.keys[i]]
 		if child == nil {
 			break
 		}
@@ -196,12 +287,13 @@ func (m *Manager) walk(prompt []int) (int, []*prefixNode) {
 		matched += b
 		node = child
 	}
-	if matched >= len(prompt) && matched > 0 {
+	if matched >= len(hp.tokens) && matched > 0 {
 		// Fully cached prompt: keep every block claimed but recompute
 		// the final token, which partially consumes the tail block —
 		// the copy-on-write case once the sequence grows into it.
-		matched = len(prompt) - 1
+		matched = len(hp.tokens) - 1
 	}
+	m.prefix.walkScratch = nodes
 	return matched, nodes
 }
 
@@ -215,14 +307,22 @@ func (m *Manager) ClaimPrefix(seqID int, prompt []int) (int, error) {
 	if m.prefix == nil {
 		return 0, fmt.Errorf("kvcache: prefix cache not enabled")
 	}
-	if _, dup := m.tables[seqID]; dup {
+	return m.ClaimPrefixHashed(seqID, m.HashPrompt(prompt))
+}
+
+// ClaimPrefixHashed is ClaimPrefix over a prehashed prompt.
+func (m *Manager) ClaimPrefixHashed(seqID int, hp HashedPrompt) (int, error) {
+	if m.prefix == nil {
+		return 0, fmt.Errorf("kvcache: prefix cache not enabled")
+	}
+	if _, dup := m.seqs[seqID]; dup {
 		return 0, fmt.Errorf("kvcache: sequence %d already allocated", seqID)
 	}
-	matched, nodes := m.walk(prompt)
+	matched, nodes := m.walk(hp)
 	if matched == 0 {
 		return 0, nil
 	}
-	table := make([]int, 0, len(nodes))
+	st := getSeqState()
 	for _, n := range nodes {
 		if m.refcnt[n.block] == 0 {
 			delete(m.prefix.cached, n.block)
@@ -233,15 +333,16 @@ func (m *Manager) ClaimPrefix(seqID int, prompt []int) (int, error) {
 		}
 		m.prefix.tick++
 		n.lastUse = m.prefix.tick
-		table = append(table, n.block)
+		st.table = append(st.table, n.block)
 	}
-	m.tables[seqID] = table
-	m.seqTokens[seqID] = matched
+	st.tokens = matched
+	m.seqs[seqID] = st
 	// The claimed chain is already committed content: later CommitPrefix
 	// calls resume past it instead of re-walking from the root.
 	m.prefix.committed[seqID] = commitMark{node: nodes[len(nodes)-1], full: len(nodes)}
 	m.prefix.hits++
 	m.prefix.tokensSaved += int64(matched)
+	m.gen++ // resurrections and refcount bumps change later lookup costs
 	return matched, nil
 }
 
@@ -252,23 +353,30 @@ func (m *Manager) ClaimPrefix(seqID int, prompt []int) (int, error) {
 // continues through the existing chain so deeper blocks still
 // register. Safe — and cheap — to call after every prefill chunk: the
 // walk resumes from the sequence's last committed depth, so only new
-// full blocks are hashed (re-walking from the root would make a
+// full blocks are visited (re-walking from the root would make a
 // small-chunk prefill quadratic in prompt blocks).
 func (m *Manager) CommitPrefix(seqID int, prompt []int, prefilled int) error {
 	if m.prefix == nil {
 		return nil
 	}
-	table, ok := m.tables[seqID]
+	return m.CommitPrefixHashed(seqID, m.HashPrompt(prompt), prefilled)
+}
+
+// CommitPrefixHashed is CommitPrefix over a prehashed prompt.
+func (m *Manager) CommitPrefixHashed(seqID int, hp HashedPrompt, prefilled int) error {
+	if m.prefix == nil {
+		return nil
+	}
+	st, ok := m.seqs[seqID]
 	if !ok {
 		return fmt.Errorf("kvcache: unknown sequence %d", seqID)
 	}
-	b := m.cfg.BlockTokens
-	if prefilled > len(prompt) {
-		prefilled = len(prompt)
+	if prefilled > len(hp.tokens) {
+		prefilled = len(hp.tokens)
 	}
-	full := prefilled / b
-	if full > len(table) {
-		full = len(table)
+	full := prefilled / m.cfg.BlockTokens
+	if full > len(st.table) {
+		full = len(st.table)
 	}
 	node, i := m.prefix.root, 0
 	if mark, ok := m.prefix.committed[seqID]; ok && mark.full <= full &&
@@ -277,24 +385,25 @@ func (m *Manager) CommitPrefix(seqID int, prompt []int, prefilled int) error {
 		// evicted (unregistered) is stale and falls back to the root.
 		node, i = mark.node, mark.full
 	}
+	registered := false
 	for ; i < full; i++ {
-		key := contentKey(prompt[i*b : (i+1)*b])
+		key := hp.keys[i]
 		child := node.children[key]
 		if child == nil {
-			if existing := m.prefix.byBlock[table[i]]; existing != nil {
+			if existing := m.prefix.byBlock[st.table[i]]; existing != nil {
 				// The block is already advertised under different
 				// content (stale chain after an eviction reshaped the
 				// trie). Leave it; do not double-register.
 				break
 			}
 			child = &prefixNode{
-				parent:   node,
-				children: make(map[string]*prefixNode),
-				key:      key,
-				block:    table[i],
+				parent: node,
+				key:    key,
+				block:  st.table[i],
 			}
-			node.children[key] = child
-			m.prefix.byBlock[table[i]] = child
+			node.addChild(key, child)
+			m.prefix.byBlock[st.table[i]] = child
+			registered = true
 		}
 		m.prefix.tick++
 		child.lastUse = m.prefix.tick
@@ -302,6 +411,9 @@ func (m *Manager) CommitPrefix(seqID int, prompt []int, prefilled int) error {
 	}
 	if i > 0 {
 		m.prefix.committed[seqID] = commitMark{node: node, full: i}
+	}
+	if registered {
+		m.gen++ // freshly advertised content changes later lookups
 	}
 	return nil
 }
@@ -317,6 +429,7 @@ func (m *Manager) releaseBlock(b int) {
 	if m.refcnt[b] > 0 {
 		return
 	}
+	m.gen++ // a refcount-zero transition changes later resurrect charges
 	if node := m.prefix.byBlock[b]; node != nil {
 		m.prefix.tick++
 		node.lastUse = m.prefix.tick
@@ -369,6 +482,7 @@ func (m *Manager) evictOne() bool {
 // every cached block in it to the free list.
 func (m *Manager) unregister(n *prefixNode) {
 	delete(n.parent.children, n.key)
+	m.gen++ // removed advertisements change later lookups
 	var dfs func(*prefixNode)
 	dfs = func(x *prefixNode) {
 		delete(m.prefix.byBlock, x.block)
@@ -388,15 +502,14 @@ func (m *Manager) unregister(n *prefixNode) {
 // it must not mutate: the last block is partially filled (the write
 // target) and either shared with another sequence or still advertised
 // by the trie as cached prefix content.
-func (m *Manager) cowNeeded(seqID int) bool {
+func (m *Manager) cowNeeded(st *seqState) bool {
 	if m.prefix == nil {
 		return false
 	}
-	if m.seqTokens[seqID]%m.cfg.BlockTokens == 0 {
+	if st.tokens%m.cfg.BlockTokens == 0 {
 		return false // last block full; growth writes fresh blocks only
 	}
-	table := m.tables[seqID]
-	last := table[len(table)-1]
+	last := st.table[len(st.table)-1]
 	return m.refcnt[last] > 1 || m.prefix.byBlock[last] != nil
 }
 
@@ -404,12 +517,11 @@ func (m *Manager) cowNeeded(seqID int) bool {
 // copy (the caller has verified capacity). The shared original keeps
 // its other references, or parks in the cached pool when this was the
 // only one.
-func (m *Manager) copyOnWrite(seqID int) {
-	table := m.tables[seqID]
-	old := table[len(table)-1]
+func (m *Manager) copyOnWrite(st *seqState) {
+	old := st.table[len(st.table)-1]
 	fresh := m.pop()
 	m.refcnt[fresh] = 1
-	table[len(table)-1] = fresh
+	st.table[len(st.table)-1] = fresh
 	m.releaseBlock(old)
 	m.prefix.cowCopies++
 }

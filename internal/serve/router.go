@@ -166,10 +166,14 @@ func (r *Router) Stop(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// aggregateStats folds per-replica snapshots into one fleet view.
+// aggregateStats folds per-replica snapshots into one fleet view. Safe
+// on an empty slice (all-zero aggregate, no NaNs): a router may be
+// asked for stats while its replica set is still being assembled.
 func aggregateStats(replicas []Stats) Stats {
 	var agg Stats
 	var ttft, tpot, wait float64
+	var hitEWMA float64
+	adaptiveCaches := 0
 	for i, st := range replicas {
 		agg.Submitted += st.Submitted
 		agg.Rejected += st.Rejected
@@ -200,6 +204,37 @@ func aggregateStats(replicas []Stats) Stats {
 		if st.PrefillChunkTokens > agg.PrefillChunkTokens {
 			agg.PrefillChunkTokens = st.PrefillChunkTokens
 		}
+		// Adaptive-controller telemetry: the fleet budget spread is the
+		// min/max over the replicas' own spreads (nested routers fold
+		// correctly), the headline budget and step-time figures are the
+		// worst replica's, pool targets sum like the capacity they
+		// bound, and the hit-rate EWMA averages the replicas that run
+		// the sizing controller.
+		agg.AdaptiveChunking = agg.AdaptiveChunking || st.AdaptiveChunking
+		agg.AdaptivePrefixCache = agg.AdaptivePrefixCache || st.AdaptivePrefixCache
+		if i == 0 || st.ChunkBudgetMin < agg.ChunkBudgetMin {
+			agg.ChunkBudgetMin = st.ChunkBudgetMin
+		}
+		if st.ChunkBudgetMax > agg.ChunkBudgetMax {
+			agg.ChunkBudgetMax = st.ChunkBudgetMax
+		}
+		if st.ChunkBudget > agg.ChunkBudget {
+			agg.ChunkBudget = st.ChunkBudget
+		}
+		if st.TargetStepTime > agg.TargetStepTime {
+			agg.TargetStepTime = st.TargetStepTime
+		}
+		if st.StepTimeEWMA > agg.StepTimeEWMA {
+			agg.StepTimeEWMA = st.StepTimeEWMA
+		}
+		if st.CachePressureEWMA > agg.CachePressureEWMA {
+			agg.CachePressureEWMA = st.CachePressureEWMA
+		}
+		agg.CachePoolTarget += st.CachePoolTarget
+		if st.AdaptivePrefixCache {
+			hitEWMA += st.CacheHitRateEWMA
+			adaptiveCaches++
+		}
 		if st.SimSeconds > agg.SimSeconds {
 			agg.SimSeconds = st.SimSeconds
 		}
@@ -219,6 +254,9 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.MeanTTFT = ttft / float64(agg.Completed)
 		agg.MeanTPOT = tpot / float64(agg.Completed)
 		agg.MeanQueueWait = wait / float64(agg.Completed)
+	}
+	if adaptiveCaches > 0 {
+		agg.CacheHitRateEWMA = hitEWMA / float64(adaptiveCaches)
 	}
 	if agg.SimSeconds > 0 {
 		agg.Goodput = float64(agg.Completed) / agg.SimSeconds

@@ -207,3 +207,131 @@ func TestRouterGoodputScales(t *testing.T) {
 			fleet.Goodput, single.Goodput, fleet.Goodput/single.Goodput)
 	}
 }
+
+// statsStub is a Backend that serves a canned Stats snapshot — the
+// aggregation fixtures for the adaptive-telemetry folding rules.
+type statsStub struct{ st Stats }
+
+func (s *statsStub) Start()                          {}
+func (s *statsStub) Submit(Request) (*Ticket, error) { return nil, ErrStopped }
+func (s *statsStub) Stats() Stats                    { return s.st }
+func (s *statsStub) Stop(context.Context) error      { return nil }
+
+// TestRouterAggregatesAdaptiveStats: the fleet view must fold the
+// adaptive-controller telemetry by its documented rules — budget
+// spread as min-of-mins/max-of-maxes (so nested routers compose),
+// headline budget / target / step-time / pressure as the worst
+// replica, pool targets summed, and the hit-rate EWMA averaged over
+// the replicas actually running the sizing controller.
+func TestRouterAggregatesAdaptiveStats(t *testing.T) {
+	a := Stats{
+		AdaptiveChunking: true, ChunkBudget: 512, ChunkBudgetMin: 256, ChunkBudgetMax: 512,
+		TargetStepTime: 0.03, StepTimeEWMA: 0.021,
+		AdaptivePrefixCache: true, CachePoolTarget: 100, CacheHitRateEWMA: 0.8, CachePressureEWMA: 0.1,
+	}
+	b := Stats{
+		AdaptiveChunking: true, ChunkBudget: 64, ChunkBudgetMin: 64, ChunkBudgetMax: 2048,
+		TargetStepTime: 0.025, StepTimeEWMA: 0.034,
+		AdaptivePrefixCache: true, CachePoolTarget: 40, CacheHitRateEWMA: 0.2, CachePressureEWMA: 0.7,
+	}
+	c := Stats{ // static replica: no adaptive controllers
+		ChunkBudget: 128, ChunkBudgetMin: 128, ChunkBudgetMax: 128, CachePoolTarget: 16,
+		CacheHitRateEWMA: 0.99, // must NOT enter the adaptive average
+	}
+	r, err := NewRouter(&statsStub{a}, &statsStub{b}, &statsStub{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := r.Stats()
+	if !agg.AdaptiveChunking || !agg.AdaptivePrefixCache {
+		t.Errorf("adaptive flags lost: %+v", agg)
+	}
+	if agg.ChunkBudgetMin != 64 || agg.ChunkBudgetMax != 2048 {
+		t.Errorf("budget spread [%d, %d], want [64, 2048]", agg.ChunkBudgetMin, agg.ChunkBudgetMax)
+	}
+	if agg.ChunkBudget != 512 {
+		t.Errorf("headline budget %d, want the largest current budget 512", agg.ChunkBudget)
+	}
+	if agg.TargetStepTime != 0.03 || agg.StepTimeEWMA != 0.034 {
+		t.Errorf("target/step EWMA %v/%v, want 0.03/0.034", agg.TargetStepTime, agg.StepTimeEWMA)
+	}
+	if agg.CachePoolTarget != 156 {
+		t.Errorf("pool target %d, want the 156-block fleet sum", agg.CachePoolTarget)
+	}
+	if want := (0.8 + 0.2) / 2; agg.CacheHitRateEWMA != want {
+		t.Errorf("hit-rate EWMA %v, want %v (mean of the adaptive replicas only)", agg.CacheHitRateEWMA, want)
+	}
+	if agg.CachePressureEWMA != 0.7 {
+		t.Errorf("pressure EWMA %v, want the worst replica's 0.7", agg.CachePressureEWMA)
+	}
+}
+
+// TestAggregateStatsZeroReplicas: folding an empty replica set must
+// yield a clean zero aggregate — no NaNs from the EWMA means, no
+// spurious flags — since a router can be snapshotted mid-assembly.
+func TestAggregateStatsZeroReplicas(t *testing.T) {
+	agg := aggregateStats(nil)
+	if agg.AdaptiveChunking || agg.AdaptivePrefixCache {
+		t.Errorf("zero-replica aggregate invented adaptive flags: %+v", agg)
+	}
+	if agg.ChunkBudget != 0 || agg.ChunkBudgetMin != 0 || agg.ChunkBudgetMax != 0 || agg.CachePoolTarget != 0 {
+		t.Errorf("zero-replica aggregate invented budgets: %+v", agg)
+	}
+	for name, v := range map[string]float64{
+		"step_time_ewma": agg.StepTimeEWMA, "hit_rate_ewma": agg.CacheHitRateEWMA,
+		"pressure_ewma": agg.CachePressureEWMA, "mean_ttft": agg.MeanTTFT, "goodput": agg.Goodput,
+	} {
+		if v != 0 || v != v {
+			t.Errorf("zero-replica aggregate %s = %v, want 0", name, v)
+		}
+	}
+}
+
+// TestRouterAdaptiveStatsSurviveStoppedReplica: a drained replica
+// still reports its final snapshot; the fleet aggregate must keep
+// folding it without disturbing the adaptive telemetry of the live
+// replicas.
+func TestRouterAdaptiveStatsSurviveStoppedReplica(t *testing.T) {
+	servers := make([]*Server, 2)
+	backends := make([]Backend, 2)
+	for i := range servers {
+		servers[i] = newServer(t, Config{
+			Engine: testEngine(t, engine.BackendZipServ), QueueDepth: 16,
+			AdaptiveChunking: true, PrefixCache: true, AdaptivePrefixCache: true,
+		})
+		backends[i] = servers[i]
+	}
+	r, err := NewRouter(backends...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	tk, err := servers[0].Submit(Request{Prompt: seqTokens(256, 1), OutputLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := awaitResult(t, tk); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := servers[0].Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	agg, per := r.Snapshot()
+	if len(per) != 2 {
+		t.Fatalf("replica breakdown %d entries, want 2", len(per))
+	}
+	if !agg.AdaptiveChunking || !agg.AdaptivePrefixCache {
+		t.Errorf("aggregate lost adaptive flags with a stopped replica: %+v", agg)
+	}
+	if agg.Completed != 1 {
+		t.Errorf("aggregate completed %d, want the stopped replica's 1", agg.Completed)
+	}
+	if agg.ChunkBudgetMin <= 0 || agg.ChunkBudgetMax < agg.ChunkBudgetMin {
+		t.Errorf("aggregate budget spread [%d, %d] incoherent", agg.ChunkBudgetMin, agg.ChunkBudgetMax)
+	}
+	if agg.CachePoolTarget != per[0].CachePoolTarget+per[1].CachePoolTarget {
+		t.Errorf("pool target %d not the per-replica sum", agg.CachePoolTarget)
+	}
+}

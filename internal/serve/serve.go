@@ -75,6 +75,12 @@ var (
 // virtual timestamps, used to replay recorded traces.
 const ArrivalNow = -1
 
+// DefaultTargetStepTime is the combined per-iteration step-time target
+// (the decode batch's TPOT SLO) the adaptive chunk controller holds
+// when Config.TargetStepTime is zero: 50 ms between tokens, a humane
+// interactive cadence with prefill headroom on every modelled device.
+const DefaultTargetStepTime = 50e-3
+
 // Class is a request priority class, consumed by PriorityPolicy.
 type Class string
 
@@ -156,8 +162,27 @@ type Config struct {
 	PrefixCache bool
 	// PrefixCacheBlocks bounds how many refcount-zero blocks the
 	// prefix cache may keep parked (0 = unbounded: every free block is
-	// a reuse candidate). Ignored unless PrefixCache is set.
+	// a reuse candidate). Ignored unless PrefixCache is set. With
+	// AdaptivePrefixCache it is only the sizing controller's starting
+	// point.
 	PrefixCacheBlocks int
+	// AdaptiveChunking replaces the static PrefillChunkTokens budget
+	// with a closed-loop controller on the scheduler iteration: each
+	// Prefill re-derives the largest chunk that keeps the combined
+	// prefill+decode step under TargetStepTime by inverting the engine
+	// cost model, shrinking under deep decode batches and growing when
+	// the loop is idle. Mutually exclusive with PrefillChunkTokens.
+	AdaptiveChunking bool
+	// TargetStepTime is the adaptive controller's combined step-time
+	// target in seconds — the decode batch's TPOT SLO. 0 =
+	// DefaultTargetStepTime. Requires AdaptiveChunking.
+	TargetStepTime float64
+	// AdaptivePrefixCache replaces the static PrefixCacheBlocks bound
+	// with a closed-loop pool-sizing controller: the cached pool
+	// shrinks (evicting leaf-first) while admissions queue on KV
+	// capacity and grows while prefix hits keep arriving. Requires
+	// PrefixCache.
+	AdaptivePrefixCache bool
 }
 
 // EventType tags a streaming event.
@@ -271,6 +296,27 @@ type Stats struct {
 	CachedKVBlocks     int   `json:"cached_kv_blocks"`
 	SharedKVBlocks     int   `json:"shared_kv_blocks"`
 
+	// Adaptive-controller telemetry. AdaptiveChunking/AdaptivePrefixCache
+	// echo the config; ChunkBudget is the budget the next iteration will
+	// honour (the controller's smoothed value, or the static flag), with
+	// ChunkBudgetMin/Max the fleet spread on a router (min==max==budget
+	// on one replica); TargetStepTime is the chunk controller's combined
+	// step-time target and StepTimeEWMA the smoothed iteration time it
+	// holds under it (worst replica on a router). CachePoolTarget is the
+	// cached-pool bound the sizing controller (or static config)
+	// currently enforces, summed fleet-wide; CacheHitRateEWMA averages
+	// the adaptive replicas and CachePressureEWMA reports the worst one.
+	AdaptiveChunking    bool    `json:"adaptive_chunking,omitempty"`
+	ChunkBudget         int     `json:"chunk_budget_tokens"`
+	ChunkBudgetMin      int     `json:"chunk_budget_min_tokens"`
+	ChunkBudgetMax      int     `json:"chunk_budget_max_tokens"`
+	TargetStepTime      float64 `json:"target_step_time_seconds,omitempty"`
+	StepTimeEWMA        float64 `json:"step_time_ewma_seconds"`
+	AdaptivePrefixCache bool    `json:"adaptive_prefix_cache,omitempty"`
+	CachePoolTarget     int     `json:"cache_pool_target_blocks"`
+	CacheHitRateEWMA    float64 `json:"cache_hit_rate_ewma"`
+	CachePressureEWMA   float64 `json:"cache_pressure_ewma"`
+
 	Goodput    float64 `json:"goodput_rps"`      // completed / sim second
 	Throughput float64 `json:"throughput_tok_s"` // tokens / sim second
 
@@ -305,6 +351,7 @@ type call struct {
 	submitted  time.Time
 	events     chan Event
 	result     chan Result
+	ticket     Ticket // returned to the submitter; embedded to spare an allocation
 }
 
 // deadline is the absolute virtual first-token deadline (+Inf without

@@ -33,6 +33,12 @@ type Server struct {
 	stats   Stats
 	recent  []time.Time // wall completion times within drainWindow
 
+	// Admission-loop scratch, reused across iterations so the hot loop
+	// builds its eligible views without allocating. Only the scheduler
+	// goroutine touches these.
+	eligScratch []Pending
+	idxScratch  []int
+
 	startOnce sync.Once
 }
 
@@ -61,20 +67,44 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = FIFOPolicy{}
 	}
+	if cfg.AdaptiveChunking && cfg.TargetStepTime == 0 {
+		cfg.TargetStepTime = DefaultTargetStepTime
+	}
 	blocks := cfg.Engine.Plan().Blocks
+	seedBudget := cfg.PrefillChunkTokens
+	if cfg.AdaptiveChunking {
+		seedBudget = engine.DefaultAdaptiveChunkMax
+	}
+	// Mirror the sizing controller's starting bound (the static value,
+	// or the whole plan when unbounded) so a replica that has not yet
+	// run an iteration reports the same pool target its loop will.
+	seedPool := cfg.PrefixCacheBlocks
+	if cfg.AdaptivePrefixCache && seedPool == 0 {
+		seedPool = blocks
+	}
 	return &Server{
 		cfg:      cfg,
 		submitCh: make(chan *call, cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		// One backing array for the drain-rate window instead of a
+		// doubling cascade on the first completions.
+		recent: make([]time.Time, 0, 64),
 		// Seed the snapshot so a router's capacity-aware dispatch sees
 		// real headroom before the loop's first publish.
 		stats: Stats{
-			FreeKVBlocks:       blocks,
-			TotalKVBlocks:      blocks,
-			Policy:             cfg.Policy.Name(),
-			PrefillChunkTokens: cfg.PrefillChunkTokens,
-			PrefixCacheEnabled: cfg.PrefixCache,
+			FreeKVBlocks:        blocks,
+			TotalKVBlocks:       blocks,
+			Policy:              cfg.Policy.Name(),
+			PrefillChunkTokens:  cfg.PrefillChunkTokens,
+			PrefixCacheEnabled:  cfg.PrefixCache,
+			AdaptiveChunking:    cfg.AdaptiveChunking,
+			ChunkBudget:         seedBudget,
+			ChunkBudgetMin:      seedBudget,
+			ChunkBudgetMax:      seedBudget,
+			TargetStepTime:      cfg.TargetStepTime,
+			AdaptivePrefixCache: cfg.AdaptivePrefixCache,
+			CachePoolTarget:     seedPool,
 		},
 	}, nil
 }
@@ -100,6 +130,18 @@ func validateConfig(cfg Config) error {
 	}
 	if cfg.PrefixCacheBlocks < 0 {
 		return fmt.Errorf("serve: PrefixCacheBlocks (-prefix-cache-blocks) must be >= 0, got %d", cfg.PrefixCacheBlocks)
+	}
+	if math.IsNaN(cfg.TargetStepTime) || math.IsInf(cfg.TargetStepTime, 0) || cfg.TargetStepTime < 0 {
+		return fmt.Errorf("serve: TargetStepTime (-target-step-time) must be finite and >= 0, got %v", cfg.TargetStepTime)
+	}
+	if cfg.TargetStepTime > 0 && !cfg.AdaptiveChunking {
+		return fmt.Errorf("serve: TargetStepTime (-target-step-time) requires AdaptiveChunking (-adaptive-chunk)")
+	}
+	if cfg.AdaptiveChunking && cfg.PrefillChunkTokens > 0 {
+		return fmt.Errorf("serve: AdaptiveChunking (-adaptive-chunk) and PrefillChunkTokens (-prefill-chunk) are mutually exclusive")
+	}
+	if cfg.AdaptivePrefixCache && !cfg.PrefixCache {
+		return fmt.Errorf("serve: AdaptivePrefixCache (-adaptive-prefix-cache) requires PrefixCache (-prefix-cache)")
 	}
 	return nil
 }
@@ -187,10 +229,11 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	if s.stopped {
 		return nil, ErrStopped
 	}
+	c.ticket = Ticket{ID: c.req.ID, events: c.events, result: c.result}
 	select {
 	case s.submitCh <- c:
 		s.submitted.Add(1)
-		return &Ticket{ID: c.req.ID, events: c.events, result: c.result}, nil
+		return &c.ticket, nil
 	default:
 		s.rejected.Add(1)
 		return nil, ErrQueueFull
@@ -245,15 +288,36 @@ func (s *Server) loop() {
 	}
 	sp.PackedPrefill = !s.cfg.PaddedPrefill
 	sp.PrefillChunkTokens = s.cfg.PrefillChunkTokens
+	if s.cfg.AdaptiveChunking {
+		if err := sp.EnableAdaptiveChunking(s.cfg.TargetStepTime, 0, 0); err != nil {
+			s.failAll(nil, nil, err)
+			return
+		}
+	}
 	if s.cfg.PrefixCache {
 		if err := sp.EnablePrefixCache(s.cfg.PrefixCacheBlocks); err != nil {
 			s.failAll(nil, nil, err)
 			return
 		}
+		if s.cfg.AdaptivePrefixCache {
+			if err := sp.EnableAdaptivePrefixCache(0, 0); err != nil {
+				s.failAll(nil, nil, err)
+				return
+			}
+		}
 	}
 
+	// The pending queue and the admission view scratch are bounded by
+	// what the submit queue can feed them; one up-front backing array
+	// apiece replaces a doubling cascade per server.
+	seed := s.cfg.QueueDepth
+	if seed > 256 {
+		seed = 256
+	}
+	s.eligScratch = make([]Pending, 0, seed)
+	s.idxScratch = make([]int, 0, seed)
 	var (
-		pending  []*call
+		pending  = make([]*call, 0, seed)
 		inflight = make(map[int]*call)
 		agg      aggregate
 		wasIdle  bool
@@ -319,6 +383,10 @@ func (s *Server) loop() {
 		if len(finished) > 0 {
 			s.noteCompletions(len(finished))
 		}
+		// Close the admission epoch: the cache-sizing controller
+		// consumes this iteration's admission outcomes and resizes the
+		// cached pool before the snapshot below reports the new target.
+		sp.AdaptEpoch()
 		// Publish before delivering results: a caller that has seen a
 		// request's Result must observe stats that include it.
 		s.publish(sp, len(pending), len(inflight)-len(finished), &agg)
@@ -392,11 +460,11 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 			break
 		}
 		// Split pending into eligible (arrived) and future requests.
-		var (
-			eligible []Pending
-			idxs     []int
-			nextArr  = math.Inf(1)
-		)
+		// The view buffers persist on the server so this per-iteration
+		// split never allocates in steady state.
+		eligible := s.eligScratch[:0]
+		idxs := s.idxScratch[:0]
+		nextArr := math.Inf(1)
 		for i, c := range pending {
 			if c.req.ArrivalSeconds <= sp.Clock() {
 				eligible = append(eligible, s.pendingView(c))
@@ -405,6 +473,7 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 				nextArr = c.req.ArrivalSeconds
 			}
 		}
+		s.eligScratch, s.idxScratch = eligible, idxs
 		if len(eligible) == 0 {
 			if sp.InFlight() > 0 {
 				break // future arrivals; keep decoding until then
@@ -579,6 +648,17 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		PrefixTokensSaved:  sp.PrefixTokensSaved(),
 		CachedKVBlocks:     sp.CachedKVBlocks(),
 		SharedKVBlocks:     sp.SharedKVBlocks(),
+
+		AdaptiveChunking:    sp.AdaptiveChunking(),
+		ChunkBudget:         sp.ChunkBudget(),
+		ChunkBudgetMin:      sp.ChunkBudget(),
+		ChunkBudgetMax:      sp.ChunkBudget(),
+		TargetStepTime:      sp.TargetStepTime(),
+		StepTimeEWMA:        sp.StepTimeEWMA(),
+		AdaptivePrefixCache: sp.AdaptivePrefixCache(),
+		CachePoolTarget:     sp.CachePoolTarget(),
+		CacheHitRateEWMA:    sp.CacheHitRateEWMA(),
+		CachePressureEWMA:   sp.CachePressureEWMA(),
 	}
 	if agg.completed > 0 {
 		st.MeanTTFT = agg.ttftSum / float64(agg.completed)

@@ -64,6 +64,16 @@
 // to cache-off, only TTFT and KV pressure improve. See
 // docs/prefix-caching.md.
 //
+// Both knobs also close their loops adaptively: with
+// LiveConfig.AdaptiveChunking the chunk budget is re-derived every
+// iteration from the decode batch's step-time target
+// (LiveConfig.TargetStepTime, the TPOT SLO) by inverting the engine
+// cost model, and with LiveConfig.AdaptivePrefixCache the warm-pool
+// bound follows observed hit rates and KV pressure instead of a static
+// block count. The controllers' live operating points surface in
+// LiveStats (ChunkBudget, StepTimeEWMA, CachePoolTarget and the
+// controller EWMAs). See docs/adaptive-scheduling.md.
+//
 // Quick start:
 //
 //	w := zipserv.GaussianWeights(4096, 4096, 0.02, 1)
