@@ -26,6 +26,16 @@
 // reuse win of copy-on-write prefix caching. -require-prefix-win turns
 // the comparison into a CI gate.
 //
+// With -compare-compress it replays one capacity-pressure shared-prefix
+// workload (shared-prefix requests interleaved with prompt-only
+// "flusher" requests sized to the whole KV plan) on a deliberately tiny
+// KV plan, with the compressed cold-block cache off and on, and reports
+// prefix hits, prefill work and the compression counters — the capacity
+// win of freezing cold prefix blocks into the TCA-TBE store instead of
+// parking them physically. -require-compress-win turns the comparison
+// into a CI gate: compression-on must retain strictly more prefix hits
+// with a byte-identical completion set.
+//
 // With -compare-adaptive it replays one mixed long-prompt +
 // shared-prefix workload under each static prefill chunk budget and
 // under the adaptive controllers (closed-loop chunk budget derived
@@ -45,6 +55,7 @@
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-policies -requests 64 -csv policies.csv
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-chunking -requests 40 -csv chunking.csv
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-prefix -requests 40 -csv prefix.csv
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-compress -requests 8 -require-compress-win
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-adaptive -target-step-time 30ms -require-adaptive-win
 package main
 
@@ -78,6 +89,10 @@ func main() {
 		"replay a shared-prefix workload with the KV prefix cache off and on and compare TTFT and prefill work")
 	requirePrefixWin := flag.Bool("require-prefix-win", false,
 		"compare-prefix: exit non-zero unless prefix-on TTFT p50 <= prefix-off (CI perf-regression gate)")
+	compareCompress := flag.Bool("compare-compress", false,
+		"replay a capacity-pressure shared-prefix workload with the compressed cold-block cache off and on and compare prefix reuse")
+	requireCompressWin := flag.Bool("require-compress-win", false,
+		"compare-compress: exit non-zero unless compression-on retains strictly more prefix hits with identical outputs (CI gate)")
 	compareAdaptive := flag.Bool("compare-adaptive", false,
 		"replay a mixed long-prompt + shared-prefix workload under each static chunk budget and the adaptive controllers, comparing decode TPOT")
 	requireAdaptiveWin := flag.Bool("require-adaptive-win", false,
@@ -92,6 +107,8 @@ func main() {
 
 	var err error
 	switch {
+	case *compareCompress:
+		err = runCompareCompress(*model, *device, *gpus, *backend, *requests, *csvPath, *requireCompressWin)
 	case *compareAdaptive:
 		err = runCompareAdaptive(*model, *device, *gpus, *backend, *requests, *prompt, targetStepTime.Seconds(), *csvPath, *requireAdaptiveWin)
 	case *comparePrefix:
@@ -468,6 +485,178 @@ func runComparePrefix(modelName, device string, gpus int, backend string, n int,
 	}
 	if requireWin && on.p50 > off.p50 {
 		return fmt.Errorf("perf regression: prefix-on TTFT p50 %.6fs > prefix-off %.6fs", on.p50, off.p50)
+	}
+	return nil
+}
+
+// runCompareCompress replays one capacity-pressure shared-prefix
+// workload with the compressed cold-block cache off and on, under the
+// same deliberately tiny physical KV plan, and prints prefix reuse and
+// compression counters. The workload alternates n shared-prefix
+// requests (a 64-token common prefix plus a unique 16-token suffix)
+// with "flusher" requests whose prompt+output footprint equals the
+// whole 14-block plan: each flusher forces every parked refcount-zero
+// block out of the physical pool, so with plain parking the prefix
+// content is gone by the time the next shared request arrives, while
+// the compressed cache holds it in frozen form outside the physical
+// budget and restores it on claim (decompress priced into that
+// prefill). MaxBatch 1 serialises the trace so the pressure pattern is
+// deterministic. With requireWin it exits non-zero unless
+// compression-on retains strictly more prefix hits (and at least as
+// many saved tokens) with a byte-identical completion set — the CI
+// gate for the compressed-KV path.
+func runCompareCompress(modelName, device string, gpus int, backend string, n int, csvPath string, requireWin bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	if n < 2 {
+		n = 2 // one reuse opportunity minimum
+	}
+
+	// Shrink the KV plan to exactly planBlocks blocks by growing the
+	// engine's reserved-memory headroom: probe the default plan, then
+	// hand the surplus KV bytes (minus half a block so flooring cannot
+	// drop below the target) back as reservation.
+	const (
+		blockTokens = 16 // kvcache.DefaultBlockTokens
+		planBlocks  = 14
+		prefixLen   = 4 * blockTokens // 4 whole cacheable blocks
+		suffixLen   = blockTokens
+		outputLen   = 2 * blockTokens
+	)
+	probe, err := zipserv.NewEngine(zipserv.ServingConfig{
+		Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+	})
+	if err != nil {
+		return err
+	}
+	bytesPerBlock := blockTokens * model.KVBytesPerToken() / int64(gpus)
+	surplus := probe.Plan().KVBytes - planBlocks*bytesPerBlock - bytesPerBlock/2
+	if surplus <= 0 {
+		return fmt.Errorf("device plan already below %d KV blocks", planBlocks)
+	}
+	reservedGiB := 3 + float64(surplus)/float64(int64(1)<<30)
+
+	// The flusher's footprint is the whole plan, admitted by PromptLen
+	// alone (no prompt tokens), so it allocates fresh blocks without
+	// touching the prefix trie.
+	flushPrompt := planBlocks*blockTokens - outputLen
+	prefix := make([]int, prefixLen)
+	for i := range prefix {
+		prefix[i] = 100003 + i*131
+	}
+	var reqs []zipserv.LiveRequest
+	for i := 0; i < n; i++ {
+		tokens := append(append([]int(nil), prefix...), make([]int, suffixLen)...)
+		for j := 0; j < suffixLen; j++ {
+			tokens[prefixLen+j] = (i+2)*1000003 + j*131
+		}
+		reqs = append(reqs, zipserv.LiveRequest{
+			Prompt: tokens, OutputLen: outputLen, Arrival: float64(len(reqs)) * 0.01,
+		})
+		if i < n-1 {
+			reqs = append(reqs, zipserv.LiveRequest{
+				PromptLen: flushPrompt, OutputLen: outputLen, Arrival: float64(len(reqs)) * 0.01,
+			})
+		}
+	}
+
+	type row struct {
+		mode          string
+		p50, p99      float64
+		prefillTokens int64
+		hits, saved   int64
+		completed     int64
+		compBlocks    int
+		ratio         float64
+		decompClaims  int64
+		goodput       float64
+	}
+	rows := make([]row, 0, 2)
+	var resultSets [2][]zipserv.LiveResult
+	for run, compressed := range []bool{false, true} {
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+			ReservedGiB: reservedGiB,
+		})
+		if err != nil {
+			return err
+		}
+		if got := eng.Plan().Blocks; got != planBlocks {
+			return fmt.Errorf("constrained plan has %d KV blocks, want %d", got, planBlocks)
+		}
+		results, st, err := replayLive(zipserv.LiveConfig{
+			Engine: eng, MaxBatch: 1, PrefixCache: true, CompressedCache: compressed,
+		}, reqs)
+		if err != nil {
+			return err
+		}
+		resultSets[run] = results
+		ttfts := make([]float64, len(results))
+		for i, res := range results {
+			ttfts[i] = res.TTFT
+		}
+		mode := "compress-off"
+		if compressed {
+			mode = "compress-on"
+		}
+		rows = append(rows, row{
+			mode: mode, p50: percentile(ttfts, 0.50), p99: percentile(ttfts, 0.99),
+			prefillTokens: st.PrefillTokens, hits: st.PrefixHits, saved: st.PrefixTokensSaved,
+			completed: st.Completed, compBlocks: st.CompressedKVBlocks,
+			ratio: st.KVCompressionRatio, decompClaims: st.DecompressClaims,
+			goodput: st.Goodput,
+		})
+	}
+
+	fmt.Printf("capacity-pressure workload: %d shared-prefix requests (%d-token prefix + %d suffix) interleaved with %d-token flushers on a %d-block plan (%s on %dx %s, %s)\n\n",
+		n, prefixLen, suffixLen, flushPrompt, planBlocks, modelName, gpus, device, backend)
+	fmt.Printf("%-14s %12s %12s %14s %8s %12s %11s %10s %8s %10s\n",
+		"mode", "TTFT p50(s)", "TTFT p99(s)", "prefill toks", "hits", "toks saved", "comp blks", "ratio", "thaws", "goodput")
+	csv := newCSVTable("mode", "ttft_p50_s", "ttft_p99_s", "prefill_tokens", "prefix_hits",
+		"prefix_tokens_saved", "compressed_kv_blocks", "compression_ratio", "decompress_claims", "goodput_rps")
+	for _, r := range rows {
+		fmt.Printf("%-14s %12.4f %12.4f %14d %8d %12d %11d %10.2f %8d %10.2f\n",
+			r.mode, r.p50, r.p99, r.prefillTokens, r.hits, r.saved, r.compBlocks, r.ratio, r.decompClaims, r.goodput)
+		csv.add(r.mode, fmt.Sprintf("%.6f", r.p50), fmt.Sprintf("%.6f", r.p99),
+			fmt.Sprintf("%d", r.prefillTokens), fmt.Sprintf("%d", r.hits), fmt.Sprintf("%d", r.saved),
+			fmt.Sprintf("%d", r.compBlocks), fmt.Sprintf("%.4f", r.ratio),
+			fmt.Sprintf("%d", r.decompClaims), fmt.Sprintf("%.3f", r.goodput))
+	}
+	off, on := rows[0], rows[1]
+	fmt.Printf("\ncompress-on prefix hits: %d vs %d, prefill tokens saved: %d (decompressed %d frozen blocks)\n",
+		on.hits, off.hits, off.prefillTokens-on.prefillTokens, on.decompClaims)
+	if err := csv.write(csvPath); err != nil {
+		return err
+	}
+
+	// The completion sets must match byte for byte: same requests, same
+	// lengths, every error nil (replayLive already fails on errors).
+	// The simulated outputs are fully determined by (ID, PromptLen,
+	// OutputLen), and the compressed path's KV round-trip itself is
+	// bit-verified inside the allocator's invariant checks.
+	if len(resultSets[0]) != len(resultSets[1]) {
+		return fmt.Errorf("completion sets differ: %d vs %d results", len(resultSets[0]), len(resultSets[1]))
+	}
+	for i := range resultSets[0] {
+		a, b := resultSets[0][i], resultSets[1][i]
+		if a.ID != b.ID || a.PromptLen != b.PromptLen || a.OutputLen != b.OutputLen {
+			return fmt.Errorf("completion %d differs: off=(id %d, %d/%d) on=(id %d, %d/%d)",
+				i, a.ID, a.PromptLen, a.OutputLen, b.ID, b.PromptLen, b.OutputLen)
+		}
+	}
+	if requireWin {
+		if on.hits <= off.hits {
+			return fmt.Errorf("perf regression: compress-on prefix hits %d <= compress-off %d", on.hits, off.hits)
+		}
+		if on.saved < off.saved {
+			return fmt.Errorf("perf regression: compress-on tokens saved %d < compress-off %d", on.saved, off.saved)
+		}
 	}
 	return nil
 }

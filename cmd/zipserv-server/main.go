@@ -71,6 +71,8 @@ func main() {
 		"bound on refcount-zero KV blocks kept warm per replica for prefix reuse (0 = unbounded)")
 	adaptivePrefixCache := flag.Bool("adaptive-prefix-cache", false,
 		"resize the warm prefix-cache pool per admission epoch from hit rates and KV pressure instead of -prefix-cache-blocks")
+	compressedCache := flag.Bool("compressed-cache", false,
+		"store cold prefix-cache blocks TCA-TBE-compressed (freed physical blocks become capacity; claims decompress on demand)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -106,6 +108,7 @@ func main() {
 			PrefixCache: *prefixCache, PrefixCacheBlocks: *prefixCacheBlocks,
 			AdaptiveChunking: *adaptiveChunk, TargetStepTime: targetStepTime.Seconds(),
 			AdaptivePrefixCache: *adaptivePrefixCache,
+			CompressedCache:     *compressedCache,
 		})
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
@@ -153,6 +156,9 @@ func main() {
 			cacheDesc = "prefix cache on (adaptive pool)"
 		case *prefixCacheBlocks > 0:
 			cacheDesc = fmt.Sprintf("prefix cache on (%d blocks)", *prefixCacheBlocks)
+		}
+		if *compressedCache {
+			cacheDesc += ", cold blocks compressed"
 		}
 	}
 	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s, %s)",

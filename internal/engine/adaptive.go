@@ -125,7 +125,10 @@ func (s *Stepper) ChunkBudget() int {
 func (s *Stepper) probePrefillTime(budget int) float64 {
 	sc := s.scratch()
 	sc.probe = s.carve(budget, sc.probe[:0])
-	return s.e.ChunkedPrefillTime(sc.probe)
+	// Pending thaw work runs with the iteration regardless of budget;
+	// the probe must include it or InvertCost would solve for a budget
+	// whose real iteration overshoots the cadence target.
+	return s.e.ChunkedPrefillTime(sc.probe) + s.e.KVDecompressTime(s.pendingDecompress)
 }
 
 // adaptChunkBudget runs one controller update and returns the budget

@@ -26,6 +26,24 @@ func benchmarkSharedPrefixTrace(b *testing.B, prefixCache bool) {
 func BenchmarkStepperSharedPrefixUncached(b *testing.B) { benchmarkSharedPrefixTrace(b, false) }
 func BenchmarkStepperSharedPrefixCached(b *testing.B)   { benchmarkSharedPrefixTrace(b, true) }
 
+// BenchmarkStepperSharedPrefixCompressed runs the cached trace with
+// cold blocks stored compressed, with arrivals spaced so blocks go cold
+// between requests: every claim after the first thaws through the
+// TCA-TBE codec, so the real freeze/decompress cost sits on the
+// scheduler path this benchmark guards.
+func BenchmarkStepperSharedPrefixCompressed(b *testing.B) {
+	reqs := sharedPrefixTrace(16, 256, 32, 8, 5.0)
+	e := newPrefixTestEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := driveCompressedTrace(b, e, reqs, 64)
+		if sp.DecompressClaims() == 0 {
+			b.Fatal("benchmark workload never thawed a block")
+		}
+	}
+}
+
 // BenchmarkStepperDecodeHeavy isolates the decode loop (allocator
 // AppendToken + cost model) that every serving configuration shares.
 func BenchmarkStepperDecodeHeavy(b *testing.B) {

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"zipserv/internal/kvcache"
+)
+
+// driveCompressedTrace replays a trace with the prefix cache plus
+// compressed cold-block storage enabled.
+func driveCompressedTrace(t testing.TB, e *Engine, reqs []Request, chunk int) ([]RequestMetrics, *Stepper) {
+	t.Helper()
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.PackedPrefill = true
+	sp.PrefillChunkTokens = chunk
+	if err := sp.EnablePrefixCache(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.EnableCompressedCache(); err != nil {
+		t.Fatal(err)
+	}
+	return driveTrace(t, sp, reqs), sp
+}
+
+func TestStepperCompressedCacheValidation(t *testing.T) {
+	e := newPrefixTestEngine(t)
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.EnableCompressedCache(); err == nil || !strings.Contains(err.Error(), "prefix") {
+		t.Fatalf("EnableCompressedCache without prefix cache = %v, want prefix-cache error", err)
+	}
+	if sp.CompressedCacheEnabled() {
+		t.Fatal("failed enable left the compressed cache on")
+	}
+	if err := sp.EnablePrefixCache(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.EnableCompressedCache(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.CompressedCacheEnabled() {
+		t.Fatal("CompressedCacheEnabled false after enable")
+	}
+	if err := sp.EnableCompressedCache(); err == nil {
+		t.Fatal("double enable accepted")
+	}
+}
+
+// TestCompressedCacheOutputsIdentical: compressing cold blocks changes
+// only timing, never what is produced — the codec is lossless and the
+// trie advertises the same content either way. Every request emits
+// exactly its output tokens in both modes, the hit stream is identical,
+// and the compressed run actually exercised the freeze/thaw path.
+func TestCompressedCacheOutputsIdentical(t *testing.T) {
+	// Generous spacing so each request completes (and its blocks go
+	// cold) before the next arrives: every claim after the first is a
+	// thaw in compressed mode.
+	reqs := sharedPrefixTrace(8, 128, 24, 16, 5.0)
+	e := newPrefixTestEngine(t)
+
+	plain, spPlain := drivePrefixTrace(t, e, reqs, true, 64)
+	comp, spComp := driveCompressedTrace(t, e, reqs, 64)
+	comp2, _ := driveCompressedTrace(t, e, reqs, 64)
+
+	if len(plain) != len(reqs) || len(comp) != len(reqs) {
+		t.Fatalf("completed %d/%d (plain) and %d/%d (compressed)", len(plain), len(reqs), len(comp), len(reqs))
+	}
+	if spPlain.OutputTokens() != spComp.OutputTokens() {
+		t.Fatalf("output tokens differ: %d plain vs %d compressed", spPlain.OutputTokens(), spComp.OutputTokens())
+	}
+	if spPlain.PrefillTokens() != spComp.PrefillTokens() {
+		t.Fatalf("prefill tokens differ: %d plain vs %d compressed — frozen blocks mis-advertised", spPlain.PrefillTokens(), spComp.PrefillTokens())
+	}
+	if spPlain.PrefixHits() != spComp.PrefixHits() || spComp.PrefixHits() == 0 {
+		t.Fatalf("prefix hits differ: %d plain vs %d compressed", spPlain.PrefixHits(), spComp.PrefixHits())
+	}
+	for i := range comp {
+		if comp[i].ID != plain[i].ID {
+			t.Fatalf("request set differs: %d vs %d", comp[i].ID, plain[i].ID)
+		}
+		if comp2[i] != comp[i] {
+			t.Fatalf("compressed run not deterministic at request %d: %+v vs %+v", comp[i].ID, comp2[i], comp[i])
+		}
+	}
+	if spComp.DecompressClaims() == 0 {
+		t.Fatal("compressed run never thawed a block — the cold path was not exercised")
+	}
+	if spPlain.DecompressClaims() != 0 {
+		t.Fatalf("plain prefix run reports %d decompress claims", spPlain.DecompressClaims())
+	}
+}
+
+// TestDecompressPricedIntoTTFT pins the cost model to the mechanism:
+// with arrivals spaced so every cached claim is a thaw, a request's
+// TTFT in compressed mode must exceed its plain-prefix TTFT by exactly
+// the engine's decompress price for the blocks it thawed — no more (the
+// charge is per claimed block, not per stored block) and no less (the
+// thaw is not free).
+func TestDecompressPricedIntoTTFT(t *testing.T) {
+	const (
+		n         = 6
+		prefixLen = 8 * kvcache.DefaultBlockTokens // block-aligned: claims match it exactly
+		suffixLen = 24
+	)
+	reqs := sharedPrefixTrace(n, prefixLen, suffixLen, 8, 10.0)
+	e := newPrefixTestEngine(t)
+
+	plain, _ := drivePrefixTrace(t, e, reqs, true, 0)
+	comp, spComp := driveCompressedTrace(t, e, reqs, 0)
+
+	prefixBlocks := prefixLen / kvcache.DefaultBlockTokens
+	if got, want := spComp.DecompressClaims(), int64((n-1)*prefixBlocks); got != want {
+		t.Fatalf("DecompressClaims = %d, want %d (%d requests thawing %d blocks each)", got, want, n-1, prefixBlocks)
+	}
+	price := e.KVDecompressTime(prefixBlocks)
+	if price <= 0 {
+		t.Fatalf("KVDecompressTime(%d) = %v, want > 0", prefixBlocks, price)
+	}
+	// Request 1 pays nothing (cold cache either way); every later
+	// request pays the thaw price for its claimed prefix blocks.
+	for i := range comp {
+		want := 0.0
+		if i > 0 {
+			want = price
+		}
+		if diff := comp[i].TTFT - plain[i].TTFT; math.Abs(diff-want) > 1e-12 {
+			t.Fatalf("request %d: TTFT delta = %v, want %v (decompress price for %d blocks)",
+				comp[i].ID, diff, want, prefixBlocks)
+		}
+	}
+}
+
+// TestKVDecompressTimeScale sanity-checks the per-block price the
+// stepper charges: zero for no blocks, strictly increasing in block
+// count, and far below the prefill time the claim saved (otherwise the
+// trade could never win).
+func TestKVDecompressTimeScale(t *testing.T) {
+	e := newPrefixTestEngine(t)
+	if got := e.KVDecompressTime(0); got != 0 {
+		t.Fatalf("KVDecompressTime(0) = %v, want 0", got)
+	}
+	t1, t8 := e.KVDecompressTime(1), e.KVDecompressTime(8)
+	if !(t1 > 0 && t8 > t1) {
+		t.Fatalf("KVDecompressTime not increasing: t1=%v t8=%v", t1, t8)
+	}
+	saved := e.PrefillTime(1, 8*kvcache.DefaultBlockTokens)
+	if t8 >= saved {
+		t.Fatalf("thawing 8 blocks (%vs) costs more than prefilling them (%vs) — the cache could never win", t8, saved)
+	}
+}

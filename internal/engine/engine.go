@@ -324,6 +324,21 @@ func (e *Engine) ChunkedPrefillTime(chunks []PrefillChunk) float64 {
 	return gemm + attn + e.otherTime() + e.allReduceTime(n)
 }
 
+// KVDecompressTime prices restoring the given number of cold
+// prefix-cache blocks from compressed form into physical KV blocks:
+// each block holds DefaultBlockTokens tokens of per-GPU KV content,
+// expanded by the TCA-TBE decompressor at the weight codec's measured
+// ratio. The stepper charges this on the prefill iteration that claims
+// the frozen blocks, so TTFT and InvertCost see the real price of the
+// compressed cache's extra capacity.
+func (e *Engine) KVDecompressTime(blocks int) float64 {
+	if blocks <= 0 {
+		return 0
+	}
+	bytes := int64(blocks) * int64(kvcache.DefaultBlockTokens) * e.cfg.Model.KVBytesPerToken() / int64(e.cfg.NumGPUs)
+	return gpu.KVDecompressTime(e.cfg.Device, bytes, e.cfg.Compression.Ratio)
+}
+
 // PackedPrefillTime prices a token-packed (varlen, padding-free)
 // prefill over prompts of the given lengths: the GEMMs see the true
 // total token count and the attention kernel the true per-sequence

@@ -68,6 +68,13 @@ func drivePrefixTrace(t testing.TB, e *Engine, reqs []Request, prefixCache bool,
 			t.Fatal(err)
 		}
 	}
+	return driveTrace(t, sp, reqs), sp
+}
+
+// driveTrace runs the FIFO admission loop over an arrival-ordered trace
+// on an already-configured stepper.
+func driveTrace(t testing.TB, sp *Stepper, reqs []Request) []RequestMetrics {
+	t.Helper()
 	var done []RequestMetrics
 	nextIdx := 0
 	for iter := 0; len(done) < len(reqs); iter++ {
@@ -93,7 +100,7 @@ func drivePrefixTrace(t testing.TB, e *Engine, reqs []Request, prefixCache bool,
 		t.Fatal(err)
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
-	return done, sp
+	return done
 }
 
 func drainStep(t testing.TB, sp *Stepper) []RequestMetrics {

@@ -60,9 +60,16 @@ type Stepper struct {
 	e   *Engine
 	mgr *kvcache.Manager
 
-	prefixCache   bool             // EnablePrefixCache sets it
-	cacheAdaptive bool             // EnableAdaptivePrefixCache sets it
-	chunkCtl      *chunkController // nil = static chunk budget
+	prefixCache     bool             // EnablePrefixCache sets it
+	compressedCache bool             // EnableCompressedCache sets it
+	cacheAdaptive   bool             // EnableAdaptivePrefixCache sets it
+	chunkCtl        *chunkController // nil = static chunk budget
+
+	// pendingDecompress counts frozen prefix blocks restored by
+	// admissions since the last Prefill call; the next prefill iteration
+	// charges their decompress time so TTFT pays the compressed cache's
+	// real price.
+	pendingDecompress int
 
 	memo lookupMemo // admission lookup memo (see lookupCost)
 
@@ -239,6 +246,43 @@ func (s *Stepper) EnablePrefixCache(capBlocks int) error {
 
 // PrefixCacheEnabled reports whether cross-request prefix reuse is on.
 func (s *Stepper) PrefixCacheEnabled() bool { return s.prefixCache }
+
+// EnableCompressedCache stores cold (refcount-zero) prefix-cache
+// blocks in TCA-TBE compressed form instead of parking them as
+// physical blocks: the physical block returns to the free list
+// immediately and a later claim of the content decompresses into a
+// fresh block, priced into that prefill iteration by KVDecompressTime.
+// Requires the prefix cache.
+func (s *Stepper) EnableCompressedCache() error {
+	if !s.prefixCache {
+		return fmt.Errorf("engine: compressed cache needs the prefix cache enabled")
+	}
+	if err := s.mgr.EnableCompressedCache(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	s.compressedCache = true
+	return nil
+}
+
+// CompressedCacheEnabled reports whether cold prefix blocks are stored
+// compressed.
+func (s *Stepper) CompressedCacheEnabled() bool { return s.compressedCache }
+
+// CompressedKVBlocks returns the cold blocks currently held in
+// compressed form (advertised by the trie, holding no physical block).
+func (s *Stepper) CompressedKVBlocks() int { return s.mgr.CompressedBlocks() }
+
+// CompressedKVBytes returns the compressed footprint of those blocks.
+func (s *Stepper) CompressedKVBytes() int64 { return s.mgr.CompressedKVBytes() }
+
+// KVCompressionRatio returns the measured aggregate compression ratio
+// of the cold blocks (1.0 while none are frozen; 0 when the compressed
+// cache is off).
+func (s *Stepper) KVCompressionRatio() float64 { return s.mgr.CompressionRatio() }
+
+// DecompressClaims returns the lifetime count of frozen blocks
+// restored into physical blocks by prefix claims.
+func (s *Stepper) DecompressClaims() int64 { return s.mgr.DecompressClaims() }
 
 // EnableAdaptivePrefixCache replaces the static cached-pool bound with
 // the closed-loop sizing controller in internal/kvcache: the pool
@@ -437,12 +481,16 @@ func (s *Stepper) Admit(r Request) error {
 		s.epochAdmissions++
 	}
 	if matched > 0 {
+		dc := s.mgr.DecompressClaims()
 		claimed, err := s.mgr.ClaimPrefixHashed(r.ID, hp)
 		if err != nil {
 			return fmt.Errorf("engine: request %d prefix claim: %w", r.ID, err)
 		}
 		matched = claimed // the walk is deterministic; claimed == matched
 		s.epochHits++
+		// Frozen blocks the claim thawed owe their decompress time; the
+		// next prefill iteration pays it.
+		s.pendingDecompress += int(s.mgr.DecompressClaims() - dc)
 	}
 	s.reserved += res
 	q := seqPool.Get().(*sequence)
@@ -627,6 +675,13 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 			}
 		}
 		elapsed = s.e.PrefillTime(len(chunks), maxPrompt)
+	}
+	if s.pendingDecompress > 0 {
+		// Claims since the last prefill thawed frozen prefix blocks;
+		// their expansion runs ahead of this iteration's compute, so the
+		// iteration — and every TTFT it sets — pays for it.
+		elapsed += s.e.KVDecompressTime(s.pendingDecompress)
+		s.pendingDecompress = 0
 	}
 	s.now += elapsed
 	s.prefillIters++

@@ -246,6 +246,27 @@ func DecompressTime(spec Spec, origBytes int64, ratio float64, codecName string)
 	return traffic/(spec.MemBWGBps*1e9*p.bwEff) + float64(p.kernelLaunches)*LaunchOverhead, nil
 }
 
+// KVDecompressTime prices restoring compressed cold KV-cache blocks
+// into physical blocks with the TCA-TBE expander: origBytes of logical
+// KV content, stored at the given ratio, expanded once on claim. A
+// non-positive ratio is treated as 1 (uncompressed pass-through) and
+// non-positive sizes are free, so callers can charge the price
+// unconditionally on the claim path.
+func KVDecompressTime(spec Spec, origBytes int64, ratio float64) float64 {
+	if origBytes <= 0 {
+		return 0
+	}
+	if ratio <= 0 {
+		ratio = 1
+	}
+	t, err := DecompressTime(spec, origBytes, ratio, codec.NameZipServ)
+	if err != nil {
+		// Unreachable: the ZipServ profile is always registered.
+		return 0
+	}
+	return t
+}
+
 // PipelineTime decomposes a decoupled decompress-then-GEMM execution
 // (Figure 4).
 type PipelineTime struct {

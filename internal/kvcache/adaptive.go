@@ -133,7 +133,12 @@ func (m *Manager) AdaptCacheEpoch(admissions, hits int, blocked bool) int {
 	ctl.pressEWMA = cacheCtlAlpha*press + (1-cacheCtlAlpha)*ctl.pressEWMA
 
 	switch {
-	case ctl.pressEWMA > cachePressureHigh:
+	case ctl.pressEWMA > cachePressureHigh && m.compStore == nil:
+		// With the compressed cache on, shrinking is pointless under
+		// pressure: cold blocks hold no physical blocks (their content
+		// lives in the compressed store), so evicting them frees
+		// compressed bytes, not KV capacity. The pool keeps its target
+		// and the extra effective capacity is exactly the feature.
 		ctl.target *= cacheShrinkFactor
 	case admissions > 0 && ctl.hitEWMA > cacheGrowHitRate && ctl.pressEWMA < cachePressureLow:
 		// Growth requires live evidence: the hit-rate EWMA freezes over

@@ -23,10 +23,24 @@ type CompressedStore struct {
 // storedBlock keeps the compressed tensor plus the original geometry:
 // KV blocks are short and wide (blockTokens rows), so they are
 // reshaped into 64-row, tile-aligned form before encoding to avoid
-// paying BlockTile padding, and restored on Get.
+// paying BlockTile padding, and restored on Get. origSize records the
+// logical byte size charged to the store's accounting at Put time;
+// replace and Delete subtract exactly this value, so the aggregate
+// origBytes can never drift from the sum over live blocks no matter
+// how either side of the accounting evolves.
 type storedBlock struct {
-	cm         *core.Compressed
+	cm         *core.Compressed // nil for zero-element blocks (nothing to encode)
 	rows, cols int
+	origSize   int64
+}
+
+// compSize returns a stored block's compressed footprint; zero-element
+// blocks carry no codec payload.
+func (sb *storedBlock) compSize() int64 {
+	if sb.cm == nil {
+		return 0
+	}
+	return int64(sb.cm.SizeBytes())
 }
 
 // NewCompressedStore returns an empty store.
@@ -37,18 +51,21 @@ func NewCompressedStore() *CompressedStore {
 // Put compresses and stores the KV tensor of a block, replacing any
 // previous content.
 func (s *CompressedStore) Put(blockID int, kv *bf16.Matrix) error {
-	reshaped := reshapeForTiles(kv)
-	cm, err := core.Compress(reshaped)
-	if err != nil {
-		return fmt.Errorf("kvcache: compressing block %d: %w", blockID, err)
+	var cm *core.Compressed
+	if kv.NumElements() > 0 { // empty blocks store shape only
+		var err error
+		if cm, err = core.Compress(reshapeForTiles(kv)); err != nil {
+			return fmt.Errorf("kvcache: compressing block %d: %w", blockID, err)
+		}
 	}
 	if old, ok := s.blocks[blockID]; ok {
-		s.origBytes -= int64(2 * old.rows * old.cols)
-		s.compBytes -= int64(old.cm.SizeBytes())
+		s.origBytes -= old.origSize
+		s.compBytes -= old.compSize()
 	}
-	s.blocks[blockID] = &storedBlock{cm: cm, rows: kv.Rows, cols: kv.Cols}
-	s.origBytes += int64(kv.SizeBytes())
-	s.compBytes += int64(cm.SizeBytes())
+	sb := &storedBlock{cm: cm, rows: kv.Rows, cols: kv.Cols, origSize: int64(kv.SizeBytes())}
+	s.blocks[blockID] = sb
+	s.origBytes += sb.origSize
+	s.compBytes += sb.compSize()
 	return nil
 }
 
@@ -57,6 +74,9 @@ func (s *CompressedStore) Get(blockID int) (*bf16.Matrix, error) {
 	sb, ok := s.blocks[blockID]
 	if !ok {
 		return nil, fmt.Errorf("kvcache: block %d not in store", blockID)
+	}
+	if sb.cm == nil {
+		return &bf16.Matrix{Rows: sb.rows, Cols: sb.cols, Data: []bf16.BF16{}}, nil
 	}
 	flat, err := core.Decompress(sb.cm)
 	if err != nil {
@@ -69,19 +89,29 @@ func (s *CompressedStore) Get(blockID int) (*bf16.Matrix, error) {
 // Delete removes a block.
 func (s *CompressedStore) Delete(blockID int) {
 	if old, ok := s.blocks[blockID]; ok {
-		s.origBytes -= int64(2 * old.rows * old.cols)
-		s.compBytes -= int64(old.cm.SizeBytes())
+		s.origBytes -= old.origSize
+		s.compBytes -= old.compSize()
 		delete(s.blocks, blockID)
 	}
+}
+
+// Has reports whether a block is stored, without decompressing it.
+func (s *CompressedStore) Has(blockID int) bool {
+	_, ok := s.blocks[blockID]
+	return ok
 }
 
 // reshapeForTiles views the tensor's elements as a 64-row matrix so
 // the 64×64 BlockTile grid wastes at most one partial column of tiles
 // instead of 3/4 of every block. Element order is preserved, so the
-// reshape is invisible to callers.
+// reshape is invisible to callers. The gate is pure geometry: the
+// reshape is skipped only when it could not change the tile layout
+// (the tensor is empty, or already exactly 64 rows) — row alignment
+// alone is not enough, since a 128×8 block is 64-row-aligned yet
+// still pays two half-empty tile rows unless reshaped to 64×16.
 func reshapeForTiles(kv *bf16.Matrix) *bf16.Matrix {
 	n := kv.NumElements()
-	if n == 0 || kv.Rows%64 == 0 {
+	if n == 0 || kv.Rows == 64 {
 		return kv
 	}
 	cols := (n + 63) / 64
@@ -94,12 +124,20 @@ func reshapeForTiles(kv *bf16.Matrix) *bf16.Matrix {
 func (s *CompressedStore) Len() int { return len(s.blocks) }
 
 // Ratio returns the aggregate compression ratio of the stored blocks.
+// An empty store reports 1.0 — "no compression applied yet", the
+// neutral element — so stats and compare consumers can divide by it or
+// chart it without special-casing startup (0 would read as infinitely
+// bad compression).
 func (s *CompressedStore) Ratio() float64 {
 	if s.compBytes == 0 {
-		return 0
+		return 1.0
 	}
 	return float64(s.origBytes) / float64(s.compBytes)
 }
+
+// OrigBytes returns the logical (uncompressed) footprint of the stored
+// blocks — the bytes a claim would decompress back into KV memory.
+func (s *CompressedStore) OrigBytes() int64 { return s.origBytes }
 
 // CompressedBytes returns the stored footprint.
 func (s *CompressedStore) CompressedBytes() int64 { return s.compBytes }

@@ -65,6 +65,12 @@ type Manager struct {
 	refcnt []int        // per-block table references (prefix mode only)
 	pops   int64        // lifetime physical block claims
 	gen    int64        // bumped on mutations that can change prefix lookups
+
+	// Compressed cold-block state (see coldstore.go; nil = off).
+	compStore    *CompressedStore
+	frozenSeq    int   // next compressed-store key (ids start at 1)
+	decompClaims int64 // frozen blocks restored by prefix claims
+	decompBytes  int64 // logical bytes decompressed by those claims
 }
 
 // NewManager builds a manager with all blocks free.
@@ -248,7 +254,9 @@ func (m *Manager) Free(seqID int) error {
 func (m *Manager) pop() int {
 	if len(m.freeList) == 0 && m.prefix != nil {
 		for len(m.freeList) == 0 {
-			if !m.evictOne() {
+			// Physically parked victims only: evicting a frozen node
+			// drops compressed bytes, not a physical block.
+			if !m.evictOne(false) {
 				break
 			}
 		}
@@ -331,6 +339,9 @@ func (m *Manager) CheckInvariants() error {
 		if node.block != b {
 			return fmt.Errorf("kvcache: trie node for block %d points at block %d", b, node.block)
 		}
+		if node.frozenID != 0 {
+			return fmt.Errorf("kvcache: trie node for block %d still carries frozen id %d", b, node.frozenID)
+		}
 		if node.parent == nil || node.parent.children[node.key] != node {
 			return fmt.Errorf("kvcache: trie node for block %d detached from its parent", b)
 		}
@@ -345,6 +356,32 @@ func (m *Manager) CheckInvariants() error {
 	}
 	if m.prefix.shared != shared {
 		return fmt.Errorf("kvcache: shared-block counter %d, true count %d", m.prefix.shared, shared)
+	}
+	if m.compStore != nil {
+		// Frozen nodes hold no physical block but must stay advertised,
+		// be backed by the compressed store one-for-one, and decompress
+		// bit-exactly to the content their key addresses.
+		if got, want := len(m.prefix.frozen), m.compStore.Len(); got != want {
+			return fmt.Errorf("kvcache: %d frozen trie nodes, compressed store holds %d blocks", got, want)
+		}
+		for id, n := range m.prefix.frozen {
+			if n.frozenID != id {
+				return fmt.Errorf("kvcache: frozen node under id %d carries id %d", id, n.frozenID)
+			}
+			if n.block != -1 {
+				return fmt.Errorf("kvcache: frozen node %d still holds physical block %d", id, n.block)
+			}
+			if n.parent == nil || n.parent.children[n.key] != n {
+				return fmt.Errorf("kvcache: frozen node %d detached from its parent", id)
+			}
+			kv, err := m.compStore.Get(id)
+			if err != nil {
+				return fmt.Errorf("kvcache: frozen node %d unreadable: %w", id, err)
+			}
+			if !kv.Equal(blockContent(n.key, m.cfg.BlockTokens)) {
+				return fmt.Errorf("kvcache: frozen node %d decompressed content differs from its key's", id)
+			}
+		}
 	}
 	return nil
 }

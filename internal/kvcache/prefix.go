@@ -33,7 +33,8 @@ type prefixNode struct {
 	parent   *prefixNode
 	children map[string]*prefixNode // nil until the first child registers
 	key      string                 // content key in parent.children ("" for the root)
-	block    int                    // physical block holding this content (a full block)
+	block    int                    // physical block holding this content (-1 while frozen)
+	frozenID int                    // compressed-store key while frozen (0 = not frozen)
 	lastUse  int64                  // LRU tick of the last claim/commit
 }
 
@@ -50,8 +51,9 @@ type prefixIndex struct {
 	root      *prefixNode
 	byBlock   map[int]*prefixNode // registered blocks (owned or cached)
 	cached    map[int]*prefixNode // refcount-zero registered blocks (reclaimable)
+	frozen    map[int]*prefixNode // frozenID → compressed cold nodes (compressed cache only)
 	committed map[int]commitMark  // seqID → deepest committed trie position
-	cap       int                 // max cached blocks retained (0 = unbounded)
+	cap       int                 // max pooled (cached + frozen) blocks retained (0 = unbounded)
 	tick      int64
 	shared    int // blocks with refcount > 1, maintained on transitions
 
@@ -262,7 +264,10 @@ func (m *Manager) LookupCostHashed(hp HashedPrompt) (matched, resurrect int) {
 	}
 	matched, nodes := m.walk(hp)
 	for _, n := range nodes {
-		if m.refcnt[n.block] == 0 {
+		// Frozen blocks hold no physical block, so claiming one pops a
+		// fresh block for the decompressed content — the same charge as
+		// resurrecting a parked block out of the reclaimable pool.
+		if n.block < 0 || m.refcnt[n.block] == 0 {
 			resurrect++
 		}
 	}
@@ -323,7 +328,16 @@ func (m *Manager) ClaimPrefixHashed(seqID int, hp HashedPrompt) (int, error) {
 		return 0, nil
 	}
 	st := getSeqState()
-	for _, n := range nodes {
+	for range nodes {
+		st.table = append(st.table, -1)
+	}
+	// Claim the physically backed matches first: bumping their refcounts
+	// takes them out of the reclaimable pool, so the thaw pops below can
+	// never evict part of the chain being claimed.
+	for i, n := range nodes {
+		if n.block < 0 {
+			continue
+		}
 		if m.refcnt[n.block] == 0 {
 			delete(m.prefix.cached, n.block)
 		}
@@ -333,7 +347,30 @@ func (m *Manager) ClaimPrefixHashed(seqID int, hp HashedPrompt) (int, error) {
 		}
 		m.prefix.tick++
 		n.lastUse = m.prefix.tick
-		st.table = append(st.table, n.block)
+		st.table[i] = n.block
+	}
+	// Then restore the frozen matches: each thaw pops a fresh physical
+	// block (charged as a resurrection by LookupCost) and decompresses
+	// the cold content into it.
+	for i, n := range nodes {
+		if st.table[i] >= 0 {
+			continue
+		}
+		if err := m.thaw(n); err != nil {
+			// Unreachable (the store holds what freeze put there), but a
+			// failed thaw must not leak the chain claimed so far.
+			for _, b := range st.table {
+				if b >= 0 {
+					m.releaseBlock(b)
+				}
+			}
+			putSeqState(st)
+			m.gen++
+			return 0, err
+		}
+		m.prefix.tick++
+		n.lastUse = m.prefix.tick
+		st.table[i] = n.block
 	}
 	st.tokens = matched
 	m.seqs[seqID] = st
@@ -433,6 +470,13 @@ func (m *Manager) releaseBlock(b int) {
 	if node := m.prefix.byBlock[b]; node != nil {
 		m.prefix.tick++
 		node.lastUse = m.prefix.tick
+		if m.compStore != nil && m.freeze(b, node) {
+			// Cold content lives on compressed; the physical block is
+			// real free capacity again.
+			m.freeList = append(m.freeList, b)
+			m.enforceCap()
+			return
+		}
 		m.prefix.cached[b] = node
 		m.enforceCap()
 		return
@@ -440,35 +484,46 @@ func (m *Manager) releaseBlock(b int) {
 	m.freeList = append(m.freeList, b)
 }
 
-// enforceCap evicts LRU cached blocks until the configured capacity
-// bound holds.
+// enforceCap evicts LRU pooled blocks (physically parked and frozen
+// alike) until the configured capacity bound holds.
 func (m *Manager) enforceCap() {
 	if m.prefix.cap <= 0 {
 		return
 	}
-	for len(m.prefix.cached) > m.prefix.cap {
-		if !m.evictOne() {
-			return // unreachable: cached is non-empty
+	for len(m.prefix.cached)+len(m.prefix.frozen) > m.prefix.cap {
+		if !m.evictOne(true) {
+			return // unreachable: the pool is non-empty
 		}
 	}
 }
 
-// evictOne reclaims one cached block into the free list, choosing the
-// least recently used trie leaf so interior prefix chains survive; if
-// every cached node has children, the LRU interior node goes and its
-// subtree is unregistered (cached descendants are freed too, owned
-// descendants merely lose their trie advertisement). Returns false
-// when nothing is cached.
-func (m *Manager) evictOne() bool {
+// evictOne reclaims one pooled block, choosing the least recently used
+// trie leaf so interior prefix chains survive; if every pooled node
+// has children, the LRU interior node goes and its subtree is
+// unregistered (pooled descendants are dropped too, owned descendants
+// merely lose their trie advertisement). Allocation pressure passes
+// includeFrozen=false — evicting a frozen node frees no physical block,
+// so only physically parked victims can relieve a dry free list — while
+// cap enforcement scans both pools. Returns false when no candidate
+// exists.
+func (m *Manager) evictOne(includeFrozen bool) bool {
 	var victim *prefixNode
 	leaf := false
-	for _, n := range m.prefix.cached {
+	consider := func(n *prefixNode) {
 		nLeaf := len(n.children) == 0
 		switch {
 		case victim == nil,
 			nLeaf && !leaf,
 			nLeaf == leaf && n.lastUse < victim.lastUse:
 			victim, leaf = n, nLeaf
+		}
+	}
+	for _, n := range m.prefix.cached {
+		consider(n)
+	}
+	if includeFrozen {
+		for _, n := range m.prefix.frozen {
+			consider(n)
 		}
 	}
 	if victim == nil {
@@ -479,17 +534,25 @@ func (m *Manager) evictOne() bool {
 }
 
 // unregister detaches a node's whole subtree from the trie, returning
-// every cached block in it to the free list.
+// every physically cached block in it to the free list and dropping
+// frozen descendants from the compressed store.
 func (m *Manager) unregister(n *prefixNode) {
 	delete(n.parent.children, n.key)
 	m.gen++ // removed advertisements change later lookups
 	var dfs func(*prefixNode)
 	dfs = func(x *prefixNode) {
-		delete(m.prefix.byBlock, x.block)
-		if _, parked := m.prefix.cached[x.block]; parked {
-			delete(m.prefix.cached, x.block)
-			m.freeList = append(m.freeList, x.block)
+		if x.frozenID != 0 {
+			m.compStore.Delete(x.frozenID)
+			delete(m.prefix.frozen, x.frozenID)
+			x.frozenID = 0
 			m.prefix.evictions++
+		} else {
+			delete(m.prefix.byBlock, x.block)
+			if _, parked := m.prefix.cached[x.block]; parked {
+				delete(m.prefix.cached, x.block)
+				m.freeList = append(m.freeList, x.block)
+				m.prefix.evictions++
+			}
 		}
 		for _, c := range x.children {
 			dfs(c)

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCompressedCacheLiveServer runs a sequential shared-prefix
+// workload through a live server with the prefix cache alone and with
+// compressed cold blocks on top: outputs keep the same shape, the hit
+// stream is unchanged (frozen content is advertised exactly like parked
+// content), and the compressed run surfaces its codec counters in
+// Stats.
+func TestCompressedCacheLiveServer(t *testing.T) {
+	const n = 6
+	prefix := seqTokens(128, 1)
+
+	run := func(compressed bool) ([]Result, Stats) {
+		srv, err := New(Config{
+			Engine: prefixTestEngine(t), QueueDepth: n,
+			PrefixCache: true, CompressedCache: compressed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		// Submit sequentially so every request finds the previous one
+		// completed: its blocks have gone cold, and in compressed mode
+		// every later claim is a thaw.
+		results := make([]Result, n)
+		for i := 0; i < n; i++ {
+			prompt := append(append([]int(nil), prefix...), seqTokens(32, 100+i)...)
+			tk, err := srv.Submit(Request{Prompt: prompt, OutputLen: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[i] = <-tk.Result()
+			if results[i].Err != nil {
+				t.Fatal(results[i].Err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return results, srv.Stats()
+	}
+
+	plain, plainStats := run(false)
+	comp, compStats := run(true)
+
+	if plainStats.CompressedCacheEnabled || !compStats.CompressedCacheEnabled {
+		t.Fatalf("CompressedCacheEnabled plain/comp = %v/%v",
+			plainStats.CompressedCacheEnabled, compStats.CompressedCacheEnabled)
+	}
+	if plainStats.DecompressClaims != 0 || plainStats.CompressedKVBlocks != 0 {
+		t.Fatalf("plain run reports compressed activity: %+v", plainStats)
+	}
+	if compStats.DecompressClaims == 0 {
+		t.Fatal("compressed run never thawed a block")
+	}
+	// The last request's cold blocks are frozen at shutdown, so the
+	// gauges are live in the final snapshot.
+	if compStats.CompressedKVBlocks == 0 || compStats.CompressedKVBytes <= 0 {
+		t.Fatalf("no frozen blocks surfaced: blocks=%d bytes=%d",
+			compStats.CompressedKVBlocks, compStats.CompressedKVBytes)
+	}
+	if r := compStats.KVCompressionRatio; r <= 1.0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("KVCompressionRatio = %v, want finite > 1.0", r)
+	}
+	// Freezing changes where cold content lives, not what is reused or
+	// produced.
+	if compStats.PrefixHits != plainStats.PrefixHits || compStats.PrefixHits == 0 {
+		t.Fatalf("prefix hits differ: %d plain vs %d compressed", plainStats.PrefixHits, compStats.PrefixHits)
+	}
+	if compStats.PrefillTokens != plainStats.PrefillTokens {
+		t.Fatalf("prefill tokens differ: %d plain vs %d compressed",
+			plainStats.PrefillTokens, compStats.PrefillTokens)
+	}
+	for i := range comp {
+		if comp[i].PromptLen != plain[i].PromptLen || comp[i].OutputLen != plain[i].OutputLen {
+			t.Fatalf("request %d shape differs: %+v vs %+v", i, comp[i], plain[i])
+		}
+	}
+}
+
+// TestRouterAggregatesCompressedStats: a routed fleet sums the
+// compressed-cache counters and gauges, ORs the enable flag, and
+// reports the bytes-weighted mean compression ratio.
+func TestRouterAggregatesCompressedStats(t *testing.T) {
+	mk := func() *Server {
+		srv, err := New(Config{Engine: prefixTestEngine(t), PrefixCache: true, CompressedCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	r, err := NewRouter(mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	prompt := seqTokens(96, 3)
+	for i := 0; i < 6; i++ {
+		tk, err := r.Submit(Request{Prompt: prompt, OutputLen: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := <-tk.Result(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, per := r.Snapshot()
+	if !agg.CompressedCacheEnabled {
+		t.Fatal("aggregate lost CompressedCacheEnabled")
+	}
+	var blocks int
+	var bytes, claims int64
+	var weighted float64
+	for _, st := range per {
+		blocks += st.CompressedKVBlocks
+		bytes += st.CompressedKVBytes
+		claims += st.DecompressClaims
+		weighted += st.KVCompressionRatio * float64(st.CompressedKVBytes)
+	}
+	if agg.CompressedKVBlocks != blocks || agg.CompressedKVBytes != bytes || agg.DecompressClaims != claims {
+		t.Fatalf("aggregate %d/%d/%d, replica sum %d/%d/%d",
+			agg.CompressedKVBlocks, agg.CompressedKVBytes, agg.DecompressClaims, blocks, bytes, claims)
+	}
+	// Every prompt completed and went cold, so at least one replica
+	// holds frozen bytes and the weighted ratio is well-defined.
+	if bytes <= 0 || claims == 0 {
+		t.Fatalf("fleet shows no compressed activity: bytes=%d claims=%d", bytes, claims)
+	}
+	want := weighted / float64(bytes)
+	if math.Abs(agg.KVCompressionRatio-want) > 1e-12 || want <= 1.0 {
+		t.Fatalf("aggregate ratio = %v, want bytes-weighted %v", agg.KVCompressionRatio, want)
+	}
+}
+
+// TestAggregateCompressedRatioNoBytes: with the compressed cache
+// enabled but nothing frozen anywhere, the fleet ratio falls back to
+// the neutral 1.0 rather than 0/0.
+func TestAggregateCompressedRatioNoBytes(t *testing.T) {
+	srv, err := New(Config{Engine: prefixTestEngine(t), PrefixCache: true, CompressedCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, _ := r.Snapshot()
+	if !agg.CompressedCacheEnabled {
+		t.Fatal("aggregate lost CompressedCacheEnabled before traffic")
+	}
+	if agg.CompressedKVBytes != 0 {
+		t.Fatalf("idle fleet holds %d compressed bytes", agg.CompressedKVBytes)
+	}
+	if agg.KVCompressionRatio != 1.0 {
+		t.Fatalf("idle-fleet ratio = %v, want neutral 1.0", agg.KVCompressionRatio)
+	}
+}

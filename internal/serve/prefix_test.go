@@ -63,6 +63,8 @@ func TestConfigValidation(t *testing.T) {
 		{"negative prefix cache blocks", func(c *Config) { c.PrefixCache = true; c.PrefixCacheBlocks = -8 }, false},
 		{"unbounded prefix cache", func(c *Config) { c.PrefixCache = true }, true},
 		{"bounded prefix cache", func(c *Config) { c.PrefixCache = true; c.PrefixCacheBlocks = 512 }, true},
+		{"compressed cache without prefix cache", func(c *Config) { c.CompressedCache = true }, false},
+		{"compressed cache with prefix cache", func(c *Config) { c.PrefixCache = true; c.CompressedCache = true }, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -174,6 +174,7 @@ func aggregateStats(replicas []Stats) Stats {
 	var ttft, tpot, wait float64
 	var hitEWMA float64
 	adaptiveCaches := 0
+	var compOrigBytes float64
 	for i, st := range replicas {
 		agg.Submitted += st.Submitted
 		agg.Rejected += st.Rejected
@@ -195,6 +196,15 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.PrefixTokensSaved += st.PrefixTokensSaved
 		agg.CachedKVBlocks += st.CachedKVBlocks
 		agg.SharedKVBlocks += st.SharedKVBlocks
+		// Compressed-cache counters sum like the capacity they describe;
+		// the fleet ratio is reconstructed below from per-replica
+		// original footprints (ratio × compressed bytes), so replicas
+		// holding more content weigh more.
+		agg.CompressedCacheEnabled = agg.CompressedCacheEnabled || st.CompressedCacheEnabled
+		agg.CompressedKVBlocks += st.CompressedKVBlocks
+		agg.CompressedKVBytes += st.CompressedKVBytes
+		agg.DecompressClaims += st.DecompressClaims
+		compOrigBytes += st.KVCompressionRatio * float64(st.CompressedKVBytes)
 		// Worst-replica cadence stall and the largest configured budget
 		// (fleets are normally homogeneous; max is the honest summary
 		// when they are not).
@@ -257,6 +267,11 @@ func aggregateStats(replicas []Stats) Stats {
 	}
 	if adaptiveCaches > 0 {
 		agg.CacheHitRateEWMA = hitEWMA / float64(adaptiveCaches)
+	}
+	if agg.CompressedKVBytes > 0 {
+		agg.KVCompressionRatio = compOrigBytes / float64(agg.CompressedKVBytes)
+	} else if agg.CompressedCacheEnabled {
+		agg.KVCompressionRatio = 1.0 // enabled fleet, nothing frozen yet
 	}
 	if agg.SimSeconds > 0 {
 		agg.Goodput = float64(agg.Completed) / agg.SimSeconds

@@ -183,6 +183,14 @@ type Config struct {
 	// capacity and grows while prefix hits keep arriving. Requires
 	// PrefixCache.
 	AdaptivePrefixCache bool
+	// CompressedCache stores cold (refcount-zero) prefix-cache blocks
+	// in TCA-TBE compressed form instead of parking them physically:
+	// the physical block returns to the free list immediately, the
+	// content stays advertised by the trie, and a later claim
+	// decompresses into a fresh block at a cost the engine's prefill
+	// pricing charges explicitly. Trades per-claim decompress latency
+	// for effective KV capacity. Requires PrefixCache.
+	CompressedCache bool
 }
 
 // EventType tags a streaming event.
@@ -295,6 +303,20 @@ type Stats struct {
 	PrefixTokensSaved  int64 `json:"prefix_tokens_saved"`
 	CachedKVBlocks     int   `json:"cached_kv_blocks"`
 	SharedKVBlocks     int   `json:"shared_kv_blocks"`
+
+	// Compressed-cache metrics. CompressedCacheEnabled echoes the
+	// config; CompressedKVBlocks are cold blocks currently held in
+	// compressed form (trie-advertised, no physical block) with
+	// CompressedKVBytes their stored footprint; KVCompressionRatio is
+	// the measured aggregate orig/compressed ratio (1.0 while nothing
+	// is frozen); DecompressClaims counts frozen blocks restored by
+	// prefix claims. A router sums blocks/bytes/claims and weights the
+	// ratio by compressed bytes.
+	CompressedCacheEnabled bool    `json:"compressed_cache_enabled,omitempty"`
+	CompressedKVBlocks     int     `json:"compressed_kv_blocks"`
+	CompressedKVBytes      int64   `json:"compressed_bytes"`
+	KVCompressionRatio     float64 `json:"compression_ratio"`
+	DecompressClaims       int64   `json:"decompress_claims"`
 
 	// Adaptive-controller telemetry. AdaptiveChunking/AdaptivePrefixCache
 	// echo the config; ChunkBudget is the budget the next iteration will

@@ -82,6 +82,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AdaptivePrefixCache && seedPool == 0 {
 		seedPool = blocks
 	}
+	// An enabled-but-empty compressed store reports the neutral ratio
+	// 1.0, matching what the loop's first publish will read.
+	seedRatio := 0.0
+	if cfg.CompressedCache {
+		seedRatio = 1.0
+	}
 	return &Server{
 		cfg:      cfg,
 		submitCh: make(chan *call, cfg.QueueDepth),
@@ -93,18 +99,20 @@ func New(cfg Config) (*Server, error) {
 		// Seed the snapshot so a router's capacity-aware dispatch sees
 		// real headroom before the loop's first publish.
 		stats: Stats{
-			FreeKVBlocks:        blocks,
-			TotalKVBlocks:       blocks,
-			Policy:              cfg.Policy.Name(),
-			PrefillChunkTokens:  cfg.PrefillChunkTokens,
-			PrefixCacheEnabled:  cfg.PrefixCache,
-			AdaptiveChunking:    cfg.AdaptiveChunking,
-			ChunkBudget:         seedBudget,
-			ChunkBudgetMin:      seedBudget,
-			ChunkBudgetMax:      seedBudget,
-			TargetStepTime:      cfg.TargetStepTime,
-			AdaptivePrefixCache: cfg.AdaptivePrefixCache,
-			CachePoolTarget:     seedPool,
+			FreeKVBlocks:           blocks,
+			TotalKVBlocks:          blocks,
+			Policy:                 cfg.Policy.Name(),
+			PrefillChunkTokens:     cfg.PrefillChunkTokens,
+			PrefixCacheEnabled:     cfg.PrefixCache,
+			AdaptiveChunking:       cfg.AdaptiveChunking,
+			ChunkBudget:            seedBudget,
+			ChunkBudgetMin:         seedBudget,
+			ChunkBudgetMax:         seedBudget,
+			TargetStepTime:         cfg.TargetStepTime,
+			AdaptivePrefixCache:    cfg.AdaptivePrefixCache,
+			CachePoolTarget:        seedPool,
+			CompressedCacheEnabled: cfg.CompressedCache,
+			KVCompressionRatio:     seedRatio,
 		},
 	}, nil
 }
@@ -142,6 +150,9 @@ func validateConfig(cfg Config) error {
 	}
 	if cfg.AdaptivePrefixCache && !cfg.PrefixCache {
 		return fmt.Errorf("serve: AdaptivePrefixCache (-adaptive-prefix-cache) requires PrefixCache (-prefix-cache)")
+	}
+	if cfg.CompressedCache && !cfg.PrefixCache {
+		return fmt.Errorf("serve: CompressedCache (-compressed-cache) requires PrefixCache (-prefix-cache)")
 	}
 	return nil
 }
@@ -301,6 +312,12 @@ func (s *Server) loop() {
 		}
 		if s.cfg.AdaptivePrefixCache {
 			if err := sp.EnableAdaptivePrefixCache(0, 0); err != nil {
+				s.failAll(nil, nil, err)
+				return
+			}
+		}
+		if s.cfg.CompressedCache {
+			if err := sp.EnableCompressedCache(); err != nil {
 				s.failAll(nil, nil, err)
 				return
 			}
@@ -648,6 +665,12 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		PrefixTokensSaved:  sp.PrefixTokensSaved(),
 		CachedKVBlocks:     sp.CachedKVBlocks(),
 		SharedKVBlocks:     sp.SharedKVBlocks(),
+
+		CompressedCacheEnabled: sp.CompressedCacheEnabled(),
+		CompressedKVBlocks:     sp.CompressedKVBlocks(),
+		CompressedKVBytes:      sp.CompressedKVBytes(),
+		KVCompressionRatio:     sp.KVCompressionRatio(),
+		DecompressClaims:       sp.DecompressClaims(),
 
 		AdaptiveChunking:    sp.AdaptiveChunking(),
 		ChunkBudget:         sp.ChunkBudget(),

@@ -64,6 +64,16 @@
 // to cache-off, only TTFT and KV pressure improve. See
 // docs/prefix-caching.md.
 //
+// LiveConfig.CompressedCache layers the paper's codec under that
+// cache: a cached block whose last reference drops is frozen into the
+// TCA-TBE CompressedStore and its physical block freed, while the
+// content stays claimable — a later matching prompt thaws it
+// bit-exactly into a fresh block, paying a decompress price the cost
+// model charges into that prefill (LiveStats.DecompressClaims,
+// CompressedKVBlocks, KVCompressionRatio). Cold prefix content then
+// survives capacity pressure that would evict parked blocks. See
+// docs/compressed-kv.md.
+//
 // Both knobs also close their loops adaptively: with
 // LiveConfig.AdaptiveChunking the chunk budget is re-derived every
 // iteration from the decode batch's step-time target
