@@ -8,9 +8,10 @@ import (
 
 // csvTable accumulates one compare-mode result table for the -csv
 // export every comparison mode shares (-compare-policies,
-// -compare-chunking, -compare-prefix, -compare-adaptive): one header,
-// one row per configuration, written in a single place instead of each
-// mode hand-rolling its own writer.
+// -compare-chunking, -compare-prefix, -compare-compress,
+// -compare-adaptive, -compare-disagg): one header, one row per
+// configuration, written in a single place instead of each mode
+// hand-rolling its own writer.
 type csvTable struct {
 	columns []string
 	rows    [][]string
@@ -48,3 +49,28 @@ func (t *csvTable) write(path string) error {
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
+
+// winGate is the shared CI perf-regression gate every -require-*-win
+// flag funnels through. Each compare mode states its requirements in
+// order; when the gate is armed, the first violated requirement fails
+// the run with a uniform "perf regression" error, so the modes cannot
+// drift apart on gating semantics. Disarmed, every requirement is a
+// no-op and the comparison is informational.
+type winGate struct {
+	armed bool
+	err   error
+}
+
+func newWinGate(armed bool) *winGate { return &winGate{armed: armed} }
+
+// require records a violation when the gate is armed and cond is false.
+// The first violation wins; later requirements are still cheap to
+// state but change nothing.
+func (g *winGate) require(cond bool, format string, args ...any) {
+	if g.armed && g.err == nil && !cond {
+		g.err = fmt.Errorf("perf regression: "+format, args...)
+	}
+}
+
+// result returns the first recorded violation, if any.
+func (g *winGate) result() error { return g.err }

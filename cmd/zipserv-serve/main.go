@@ -45,7 +45,20 @@
 // operator constant. -require-adaptive-win turns the comparison into a
 // CI gate.
 //
-// Every compare mode shares -csv to export its table.
+// With -compare-disagg it replays one mixed long-prompt + chat
+// workload through a disaggregated fleet — one prefill replica running
+// prompts to first token and handing each sequence, KV compressed
+// through the TCA-TBE codec, to one decode replica — and through
+// co-located two-replica fleets (monolithic and chunked prefill), and
+// reports the chat decoders' TPOT percentiles: the interference win of
+// keeping long prefills off the decode replica entirely.
+// -require-disagg-win turns the comparison into a CI gate:
+// disaggregation must strictly beat the best co-located configuration
+// on decode TPOT p99 with an identical completion set and no fewer
+// completions.
+//
+// Every compare mode shares -csv to export its table, and every
+// -require-*-win flag funnels through the same winGate helper.
 //
 // Usage:
 //
@@ -57,6 +70,7 @@
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-prefix -requests 40 -csv prefix.csv
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-compress -requests 8 -require-compress-win
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-adaptive -target-step-time 30ms -require-adaptive-win
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-disagg -requests 48 -require-disagg-win
 package main
 
 import (
@@ -93,6 +107,10 @@ func main() {
 		"replay a capacity-pressure shared-prefix workload with the compressed cold-block cache off and on and compare prefix reuse")
 	requireCompressWin := flag.Bool("require-compress-win", false,
 		"compare-compress: exit non-zero unless compression-on retains strictly more prefix hits with identical outputs (CI gate)")
+	compareDisagg := flag.Bool("compare-disagg", false,
+		"replay a mixed long-prompt + chat workload through a disaggregated prefill/decode fleet and co-located two-replica fleets, comparing decode TPOT")
+	requireDisaggWin := flag.Bool("require-disagg-win", false,
+		"compare-disagg: exit non-zero unless disaggregation beats every co-located config on decode TPOT p99 with identical completions (CI gate)")
 	compareAdaptive := flag.Bool("compare-adaptive", false,
 		"replay a mixed long-prompt + shared-prefix workload under each static chunk budget and the adaptive controllers, comparing decode TPOT")
 	requireAdaptiveWin := flag.Bool("require-adaptive-win", false,
@@ -107,6 +125,8 @@ func main() {
 
 	var err error
 	switch {
+	case *compareDisagg:
+		err = runCompareDisagg(*model, *device, *gpus, *backend, *requests, *prompt, *csvPath, *requireDisaggWin)
 	case *compareCompress:
 		err = runCompareCompress(*model, *device, *gpus, *backend, *requests, *csvPath, *requireCompressWin)
 	case *compareAdaptive:
@@ -207,6 +227,36 @@ func replayLive(cfg zipserv.LiveConfig, reqs []zipserv.LiveRequest) ([]zipserv.L
 		return nil, stats, err
 	}
 	return results, srv.Stats(), nil
+}
+
+// replayRouted is replayLive for a replica fleet: submit everything
+// through the router's capacity-aware dispatch, start the fleet, drain
+// the results in submission order, stop with a 30s drain window, and
+// snapshot the fleet aggregate. The caller builds the router (plain or
+// pooled) and sizes each replica's queue for the whole trace.
+func replayRouted(r *zipserv.LiveRouter, reqs []zipserv.LiveRequest) ([]zipserv.LiveResult, zipserv.LiveStats, error) {
+	var stats zipserv.LiveStats
+	tickets := make([]*zipserv.LiveTicket, len(reqs))
+	var err error
+	for i, q := range reqs {
+		if tickets[i], err = r.Submit(q); err != nil {
+			return nil, stats, err
+		}
+	}
+	r.Start()
+	results := make([]zipserv.LiveResult, len(reqs))
+	for i, tk := range tickets {
+		results[i] = <-tk.Result()
+		if results[i].Err != nil {
+			return nil, stats, results[i].Err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Stop(ctx); err != nil {
+		return nil, stats, err
+	}
+	return results, r.Stats(), nil
 }
 
 // runLive replays one synthetic trace twice — through the live
@@ -483,10 +533,9 @@ func runComparePrefix(modelName, device string, gpus int, backend string, n int,
 	if err := csv.write(csvPath); err != nil {
 		return err
 	}
-	if requireWin && on.p50 > off.p50 {
-		return fmt.Errorf("perf regression: prefix-on TTFT p50 %.6fs > prefix-off %.6fs", on.p50, off.p50)
-	}
-	return nil
+	gate := newWinGate(requireWin)
+	gate.require(on.p50 <= off.p50, "prefix-on TTFT p50 %.6fs > prefix-off %.6fs", on.p50, off.p50)
+	return gate.result()
 }
 
 // runCompareCompress replays one capacity-pressure shared-prefix
@@ -650,15 +699,10 @@ func runCompareCompress(modelName, device string, gpus int, backend string, n in
 				i, a.ID, a.PromptLen, a.OutputLen, b.ID, b.PromptLen, b.OutputLen)
 		}
 	}
-	if requireWin {
-		if on.hits <= off.hits {
-			return fmt.Errorf("perf regression: compress-on prefix hits %d <= compress-off %d", on.hits, off.hits)
-		}
-		if on.saved < off.saved {
-			return fmt.Errorf("perf regression: compress-on tokens saved %d < compress-off %d", on.saved, off.saved)
-		}
-	}
-	return nil
+	gate := newWinGate(requireWin)
+	gate.require(on.hits > off.hits, "compress-on prefix hits %d <= compress-off %d", on.hits, off.hits)
+	gate.require(on.saved >= off.saved, "compress-on tokens saved %d < compress-off %d", on.saved, off.saved)
+	return gate.result()
 }
 
 // runCompareAdaptive replays one mixed long-prompt + shared-prefix
@@ -781,10 +825,202 @@ func runCompareAdaptive(modelName, device string, gpus int, backend string, n, p
 	if err := csv.write(csvPath); err != nil {
 		return err
 	}
-	if requireWin && adaptiveP99 > bestStatic {
-		return fmt.Errorf("perf regression: adaptive decode TPOT p99 %.6fs > best static %.6fs", adaptiveP99, bestStatic)
+	gate := newWinGate(requireWin)
+	gate.require(adaptiveP99 <= bestStatic, "adaptive decode TPOT p99 %.6fs > best static %.6fs", adaptiveP99, bestStatic)
+	return gate.result()
+}
+
+// runCompareDisagg replays one mixed long-prompt + chat workload —
+// per burst of 8, five chat decoders sharing a prompt prefix (32
+// output tokens) at the burst start and three 16×prompt unique long
+// prompts (4 output tokens) staggered through the burst window, so
+// every long prefill arrives while the chat decoders are mid-decode —
+// through two-replica fleets:
+//
+//   - co-located baselines: two mixed replicas behind the plain
+//     capacity-aware router, with monolithic and chunked prefill, so
+//     every replica interleaves long prefills with its decode batch;
+//   - disaggregated: one prefill replica that runs every prompt to its
+//     first token and hands the sequence — KV compressed through the
+//     TCA-TBE codec — to one decode replica, which decodes it to
+//     completion without ever running a long prefill.
+//
+// It prints the chat decoders' TPOT percentiles, the worst decode
+// stall, goodput and the handoff counters. With requireWin it exits
+// non-zero unless disaggregation strictly beats the best co-located
+// configuration on decode TPOT p99, completes no fewer requests, and
+// every fleet produced the identical completion set — the CI gate for
+// the disaggregation path. Completions are compared per submission
+// index on (prompt, output) lengths, not on sequence IDs: the pooled
+// fleet mints fleet-unique IDs from one shared counter while the plain
+// router's replicas each count from 1, so IDs are not comparable
+// across fleet shapes. n (-requests) sizes the trace, rounded up to
+// whole bursts of 8; -rate, -out and -seed do not apply.
+func runCompareDisagg(modelName, device string, gpus int, backend string, n, prompt int, csvPath string, requireWin bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
 	}
-	return nil
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || prompt <= 0 {
+		return fmt.Errorf("invalid workload parameters")
+	}
+
+	bursts := (n + 7) / 8
+	tokens := func(n, seed int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = seed*100003 + i*131
+		}
+		return out
+	}
+	prefix := tokens(4*prompt, 1)
+	var reqs []zipserv.LiveRequest
+	id := 0
+	for b := 0; b < bursts; b++ {
+		at := float64(b) * 0.7
+		for j := 0; j < 8; j++ {
+			id++
+			if j >= 5 {
+				// Long prompts land mid-decode, 0.15s apart: the
+				// interference a co-located replica must absorb into its
+				// decode cadence and a prefill replica absorbs alone.
+				reqs = append(reqs, zipserv.LiveRequest{
+					Prompt:    tokens(16*prompt, 5000+id),
+					OutputLen: 4, Arrival: at + 0.15*float64(j-4),
+				})
+				continue
+			}
+			p := append(append([]int(nil), prefix...), tokens(prompt/4, 100+id)...)
+			reqs = append(reqs, zipserv.LiveRequest{Prompt: p, OutputLen: 32, Arrival: at})
+		}
+	}
+
+	newServer := func(cfg zipserv.LiveConfig) (*zipserv.LiveServer, error) {
+		eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+			Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Engine = eng
+		cfg.QueueDepth = len(reqs)
+		cfg.PrefixCache = true
+		return zipserv.NewLiveServer(cfg)
+	}
+	fleets := []struct {
+		label  string
+		disagg bool
+		cfgs   [2]zipserv.LiveConfig // one per replica
+	}{
+		{"colo-mono", false, [2]zipserv.LiveConfig{{}, {}}},
+		{"colo-chunk256", false, [2]zipserv.LiveConfig{
+			{PrefillChunkTokens: 256}, {PrefillChunkTokens: 256},
+		}},
+		{"colo-chunk1024", false, [2]zipserv.LiveConfig{
+			{PrefillChunkTokens: 1024}, {PrefillChunkTokens: 1024},
+		}},
+		// The prefill replica runs flat out, so every handoff is queued
+		// ahead of the decode replica's clock; the decode replica paces
+		// against the wall clock, so each import lands at its virtual
+		// ready time instead of wherever the goroutine race left the
+		// clock — that makes the cross-replica interleaving (and the
+		// gated TPOT numbers) deterministic. The co-located fleets have
+		// no cross-replica events, so pacing would only slow them down.
+		{"disagg-1p1d", true, [2]zipserv.LiveConfig{
+			{Pool: zipserv.LivePoolPrefill},
+			{Pool: zipserv.LivePoolDecode, TimeScale: 0.5},
+		}},
+	}
+
+	fmt.Printf("disagg mix: %d requests in %d bursts, 5 chat decoders (shared %d-token prefix) + 3 staggered long %d-token prompts per burst, 2 replicas per fleet (%s on %dx %s, %s)\n\n",
+		len(reqs), bursts, 4*prompt, 16*prompt, modelName, gpus, device, backend)
+	fmt.Printf("%-16s %16s %16s %18s %14s %10s %14s\n",
+		"fleet", "dec TPOT p50(s)", "dec TPOT p99(s)", "max dec gap(s)", "goodput(r/s)", "handoffs", "handoff MiB")
+	csv := newCSVTable("fleet", "decode_tpot_p50_s", "decode_tpot_p99_s", "max_decode_gap_s",
+		"goodput_rps", "completed", "handoffs", "handoff_bytes", "handoff_failures")
+
+	type outcome struct {
+		results   []zipserv.LiveResult
+		p99       float64
+		completed int64
+	}
+	bestColo := outcome{p99: math.Inf(1)}
+	var bestColoLabel string
+	var disagg outcome
+	for _, f := range fleets {
+		a, err := newServer(f.cfgs[0])
+		if err != nil {
+			return err
+		}
+		b, err := newServer(f.cfgs[1])
+		if err != nil {
+			return err
+		}
+		var router *zipserv.LiveRouter
+		if f.disagg {
+			router, err = zipserv.NewPooledLiveRouter(a, b)
+		} else {
+			router, err = zipserv.NewLiveRouter(a, b)
+		}
+		if err != nil {
+			return err
+		}
+		results, st, err := replayRouted(router, reqs)
+		if err != nil {
+			return err
+		}
+		var tpots []float64
+		for i, res := range results {
+			if reqs[i].OutputLen > 8 { // the chat decoders, not the long prompts
+				tpots = append(tpots, res.TPOT)
+			}
+		}
+		p50, p99 := percentile(tpots, 0.50), percentile(tpots, 0.99)
+		fmt.Printf("%-16s %16.4f %16.4f %18.4f %14.2f %10d %14.2f\n",
+			f.label, p50, p99, st.MaxDecodeGap, st.Goodput, st.Handoffs,
+			float64(st.HandoffBytes)/(1<<20))
+		csv.add(f.label, fmt.Sprintf("%.6f", p50), fmt.Sprintf("%.6f", p99),
+			fmt.Sprintf("%.6f", st.MaxDecodeGap), fmt.Sprintf("%.3f", st.Goodput),
+			fmt.Sprintf("%d", st.Completed), fmt.Sprintf("%d", st.Handoffs),
+			fmt.Sprintf("%d", st.HandoffBytes), fmt.Sprintf("%d", st.HandoffFailures))
+		o := outcome{results: results, p99: p99, completed: st.Completed}
+		switch {
+		case f.disagg:
+			disagg = o
+		case p99 < bestColo.p99:
+			bestColo, bestColoLabel = o, f.label
+		}
+	}
+	fmt.Printf("\ndisaggregated TPOT p99 vs best co-located (%s): %.4fs vs %.4fs (%.2fx)\n",
+		bestColoLabel, disagg.p99, bestColo.p99, bestColo.p99/disagg.p99)
+	if err := csv.write(csvPath); err != nil {
+		return err
+	}
+
+	// Completion identity: every fleet replays the same submissions and
+	// replayRouted fails on any per-request error, so the result at each
+	// index must describe the same (prompt, output) pair; the handoff's
+	// KV round-trip itself is bit-verified inside ImportSequence.
+	if len(disagg.results) != len(bestColo.results) {
+		return fmt.Errorf("completion sets differ: %d vs %d results", len(disagg.results), len(bestColo.results))
+	}
+	for i := range disagg.results {
+		d, c := disagg.results[i], bestColo.results[i]
+		if d.PromptLen != c.PromptLen || d.OutputLen != c.OutputLen {
+			return fmt.Errorf("completion %d differs: disagg=(%d/%d) colo=(%d/%d)",
+				i, d.PromptLen, d.OutputLen, c.PromptLen, c.OutputLen)
+		}
+	}
+	gate := newWinGate(requireWin)
+	gate.require(disagg.p99 < bestColo.p99,
+		"disaggregated decode TPOT p99 %.6fs >= best co-located (%s) %.6fs", disagg.p99, bestColoLabel, bestColo.p99)
+	gate.require(disagg.completed >= bestColo.completed,
+		"disaggregation completed %d requests, co-located %d", disagg.completed, bestColo.completed)
+	return gate.result()
 }
 
 // percentile returns the p-quantile (0..1) of xs by nearest rank.

@@ -10,6 +10,7 @@
 //
 //	zipserv-server -addr :8080 -model LLaMA3.1-8B -device RTX4090
 //	zipserv-server -replicas 4 -policy priority
+//	zipserv-server -replicas 2 -pool prefill,decode -prefix-cache    # disaggregated pools
 //	zipserv-server -prefill-chunk 256 -admit-window 5ms -time-scale 1
 //	zipserv-server -prefix-cache -prefix-cache-blocks 4096
 //	zipserv-server -adaptive-chunk -target-step-time 30ms -prefix-cache -adaptive-prefix-cache
@@ -73,6 +74,9 @@ func main() {
 		"resize the warm prefix-cache pool per admission epoch from hit rates and KV pressure instead of -prefix-cache-blocks")
 	compressedCache := flag.Bool("compressed-cache", false,
 		"store cold prefix-cache blocks TCA-TBE-compressed (freed physical blocks become capacity; claims decompress on demand)")
+	pool := flag.String("pool", "",
+		"disaggregation pool roles, comma-separated per replica in order (prefill, decode, mixed); "+
+			"one value applies to every replica; any prefill/decode role routes prompts prefill→decode with compressed KV handoff")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -87,10 +91,28 @@ func main() {
 	if *replicas < 1 {
 		log.Fatalf("zipserv-server: -replicas must be >= 1, got %d", *replicas)
 	}
+	// Pool roles: one per replica in order; a single value labels the
+	// whole fleet. Any prefill/decode role turns the fleet into a
+	// disaggregated pooled router.
+	pools := make([]serve.PoolRole, *replicas)
+	pooled := false
+	if *pool != "" {
+		roles := strings.Split(*pool, ",")
+		if len(roles) != 1 && len(roles) != *replicas {
+			log.Fatalf("zipserv-server: -pool lists %d roles for %d replicas", len(roles), *replicas)
+		}
+		for i := range pools {
+			role := serve.PoolRole(strings.TrimSpace(roles[i%len(roles)]))
+			pools[i] = role
+			if role == serve.PoolPrefill || role == serve.PoolDecode {
+				pooled = true
+			}
+		}
+	}
 
 	// Each replica gets its own engine (its own KV plan and virtual
 	// clock), modelling one GPU/node; the router shards across them.
-	servers := make([]serve.Backend, *replicas)
+	servers := make([]*serve.Server, *replicas)
 	for i := range servers {
 		eng, err := engine.New(engine.Config{
 			Model: model, Device: dev, NumGPUs: *gpus, Backend: engine.Backend(*backend),
@@ -109,6 +131,7 @@ func main() {
 			AdaptiveChunking: *adaptiveChunk, TargetStepTime: targetStepTime.Seconds(),
 			AdaptivePrefixCache: *adaptivePrefixCache,
 			CompressedCache:     *compressedCache,
+			Pool:                pools[i],
 		})
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
@@ -116,8 +139,19 @@ func main() {
 		servers[i] = srv
 	}
 	var live serve.Backend = servers[0]
-	if *replicas > 1 {
-		router, err := serve.NewRouter(servers...)
+	switch {
+	case pooled:
+		router, err := serve.NewPooledRouter(servers...)
+		if err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
+		live = router
+	case *replicas > 1:
+		backends := make([]serve.Backend, len(servers))
+		for i, sv := range servers {
+			backends[i] = sv
+		}
+		router, err := serve.NewRouter(backends...)
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
 		}
@@ -161,8 +195,12 @@ func main() {
 			cacheDesc += ", cold blocks compressed"
 		}
 	}
-	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s, %s)",
-		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc, cacheDesc)
+	poolDesc := ""
+	if pooled {
+		poolDesc = fmt.Sprintf(", disaggregated pools [%s]", *pool)
+	}
+	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s, %s%s)",
+		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc, cacheDesc, poolDesc)
 
 	select {
 	case err := <-errCh:

@@ -31,10 +31,19 @@ import (
 //     constraint), grow by EWMA (so one idle iteration does not slam
 //     a huge chunk between decode steps).
 //
-// With an empty decode batch there is no cadence to protect, so the
-// budget rises toward MaxTokens and an idle loop swallows long prompts
-// nearly monolithically — exactly the two regimes the static flag
-// forces operators to trade off.
+// With an empty decode batch a mixed replica has no cadence to
+// protect, so the budget rises toward MaxTokens and an idle loop
+// swallows long prompts nearly monolithically — exactly the two
+// regimes the static flag forces operators to trade off. A dedicated
+// prefill replica (a disaggregated pool, see docs/disaggregation.md)
+// is different: it is decode-free by design, so "idle-grow" would pin
+// the budget at the ceiling forever and every iteration would stall
+// arrivals for an unbounded, ceiling-sized prefill. Setting
+// Stepper.DecodeFree declares that steady state and gives the
+// controller an explicit decode-free operating point: with no decode
+// batch it solves the budget directly against the full TargetStepTime,
+// bounding per-iteration admission (and handoff) latency by the same
+// SLO that governs mixed iterations.
 
 // Adaptive chunk-budget defaults.
 const (
@@ -136,7 +145,7 @@ func (s *Stepper) probePrefillTime(budget int) float64 {
 // queue.
 func (s *Stepper) adaptChunkBudget() int {
 	ctl := s.chunkCtl
-	solved := ctl.max
+	var solved int
 	if len(s.active) > 0 {
 		sumCtx := 0
 		for _, q := range s.active {
@@ -150,6 +159,18 @@ func (s *Stepper) adaptChunkBudget() int {
 		} else {
 			solved = gpu.InvertCost(ctl.min, ctl.max, headroom, s.probePrefillTime)
 		}
+	} else if s.DecodeFree {
+		// Decode-free operating point: on a dedicated prefill replica
+		// the whole step-time target is prefill headroom. Solving
+		// (rather than defaulting to the ceiling) keeps its iterations
+		// — and so its admission and handoff latency — bounded by the
+		// same SLO that governs mixed iterations.
+		solved = gpu.InvertCost(ctl.min, ctl.max, ctl.target, s.probePrefillTime)
+	} else {
+		// A mixed replica's empty decode batch is transient idleness:
+		// nobody's cadence is at stake, so grow toward the ceiling and
+		// drain prompts with as few fixed-cost iterations as possible.
+		solved = ctl.max
 	}
 	if f := float64(solved); f < ctl.budget {
 		ctl.budget = f // shrink at once: the cadence SLO is hard

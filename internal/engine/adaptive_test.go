@@ -42,8 +42,9 @@ func TestAdaptiveChunkingValidation(t *testing.T) {
 
 func nan() float64 { z := 0.0; return z / z }
 
-// TestAdaptiveChunkingGrowsWhenIdle: with no decode batch there is no
-// cadence to protect, so a long prompt prefills at the budget ceiling.
+// TestAdaptiveChunkingGrowsWhenIdle: on a mixed replica an empty
+// decode batch is transient idleness — no cadence to protect — so a
+// long prompt prefills at the budget ceiling.
 func TestAdaptiveChunkingGrowsWhenIdle(t *testing.T) {
 	e := newPrefixTestEngine(t)
 	sp, err := NewStepper(e)
@@ -60,6 +61,61 @@ func TestAdaptiveChunkingGrowsWhenIdle(t *testing.T) {
 	sp.Prefill()
 	if got := sp.PrefillTokens(); got != 512 {
 		t.Fatalf("idle-loop iteration prefilled %d tokens, want the 512 ceiling", got)
+	}
+}
+
+// TestAdaptiveChunkingDecodeFreeOperatingPoint: with DecodeFree set —
+// a dedicated prefill-pool replica, whose every iteration is
+// decode-free by design — the controller must solve the budget
+// directly against the step-time target instead of defaulting to the
+// ceiling. The regression guarded here: the pre-fix controller treated
+// "no decode batch" as "no constraint" and prefilled MaxTokens per
+// iteration, blowing the target on every step of a prefill-pool
+// replica.
+func TestAdaptiveChunkingDecodeFreeOperatingPoint(t *testing.T) {
+	e := newPrefixTestEngine(t)
+	sp, err := NewStepper(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.PackedPrefill = true
+	sp.DecodeFree = true
+	// The 512-token ceiling costs well over the 30ms target on this
+	// engine, so a solved budget must land strictly below it.
+	const target = 0.03
+	if err := sp.EnableAdaptiveChunking(target, 64, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Admit(Request{ID: 1, PromptLen: 4096, OutputLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	iters := 0
+	for sp.AdmittedCount() > 0 {
+		if iters++; iters > 1<<10 {
+			t.Fatal("prefill failed to make progress")
+		}
+		budget := sp.ChunkBudget()
+		_, elapsed := sp.Prefill()
+		if elapsed > target*1.001 {
+			t.Fatalf("decode-free iteration %d took %.4fs with budget %d, want <= %.4fs target",
+				iters, elapsed, budget, target)
+		}
+	}
+	if got := sp.ChunkBudget(); got <= 64 || got >= 512 {
+		t.Errorf("decode-free budget %d, want a solved point strictly inside (64, 512)", got)
+	}
+	// The solved budget must actually use the target, not idle at the
+	// floor: a 4096-token prompt at the floor would need 64 iterations.
+	if iters >= 4096/64 {
+		t.Errorf("prompt took %d decode-free iterations — budget pinned at the floor", iters)
+	}
+	for sp.InFlight() > 0 {
+		if _, _, err := sp.DecodeStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -57,6 +57,13 @@ type Stepper struct {
 	// chunking is enabled.
 	PrefillChunkTokens int
 
+	// DecodeFree declares that an empty decode batch is this stepper's
+	// steady state — a dedicated prefill-pool replica — rather than
+	// transient idleness. The adaptive chunk controller then solves its
+	// budget against the full TargetStepTime when no sequence is
+	// decoding, instead of growing toward the ceiling; see adaptive.go.
+	DecodeFree bool
+
 	e   *Engine
 	mgr *kvcache.Manager
 

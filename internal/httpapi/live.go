@@ -233,10 +233,30 @@ func streamGenerate(w http.ResponseWriter, r *http.Request, tk *serve.Ticket) {
 }
 
 // RoutedStats is the /v1/stats body for a sharded deployment: the
-// fleet aggregate inline plus the per-replica breakdown.
+// fleet aggregate inline plus the per-replica breakdown, and — when any
+// replica carries a disaggregation pool role — a per-pool aggregation
+// under "pools" (keys "prefill", "decode", "mixed").
 type RoutedStats struct {
 	serve.Stats
-	Replicas []serve.Stats `json:"replicas"`
+	Replicas []serve.Stats          `json:"replicas"`
+	Pools    map[string]serve.Stats `json:"pools,omitempty"`
+}
+
+// poolBreakdown folds the per-replica stats by pool role, or nil when
+// no replica is pool-labelled (the single-tier deployment, whose
+// /v1/stats body stays exactly as before).
+func poolBreakdown(per []serve.Stats) map[string]serve.Stats {
+	labelled := false
+	for _, st := range per {
+		if st.Pool != "" {
+			labelled = true
+			break
+		}
+	}
+	if !labelled {
+		return nil
+	}
+	return serve.PoolAggregate(per)
 }
 
 // fleetSnapshotter is implemented by serve.Router; any backend
@@ -255,7 +275,9 @@ func handleStats(live serve.Backend) http.HandlerFunc {
 		}
 		if fs, ok := live.(fleetSnapshotter); ok {
 			agg, per := fs.Snapshot()
-			writeJSON(w, http.StatusOK, RoutedStats{Stats: agg, Replicas: per})
+			writeJSON(w, http.StatusOK, RoutedStats{
+				Stats: agg, Replicas: per, Pools: poolBreakdown(per),
+			})
 			return
 		}
 		writeJSON(w, http.StatusOK, live.Stats())

@@ -35,6 +35,14 @@ type Backend interface {
 type Router struct {
 	replicas []Backend
 
+	// Pooled dispatch tiers (NewPooledRouter). When submitTier is set,
+	// requests are offered to it first (prefill + mixed replicas) and
+	// spill to fallbackTier (decode replicas, serving co-located) only
+	// when every preferred replica rejects — the prefill-death failover.
+	// A plain NewRouter leaves both nil and dispatches over replicas.
+	submitTier   []Backend
+	fallbackTier []Backend
+
 	// Router-level admission outcomes. Failover probes bump the
 	// replicas' own rejected counters even when the request lands
 	// elsewhere, so the fleet aggregate reports these instead: what
@@ -76,36 +84,22 @@ func (r *Router) Start() {
 // over a stopped replica; ErrNeverFits is returned only when no
 // running replica could ever admit the request.
 func (r *Router) Submit(req Request) (*Ticket, error) {
-	type candidate struct {
-		b    Backend
-		load int
-		free int
-	}
-	cands := make([]candidate, 0, len(r.replicas))
-	for _, b := range r.replicas {
-		st := b.Stats()
-		cands = append(cands, candidate{b: b, load: st.Queued + st.Active, free: st.FreeKVBlocks})
-	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].load != cands[j].load {
-			return cands[i].load < cands[j].load
-		}
-		return cands[i].free > cands[j].free
-	})
 	var queueFull, neverFits, lastErr error
-	for _, c := range cands {
-		tk, err := c.b.Submit(req)
-		if err == nil {
-			r.submitted.Add(1)
-			return tk, nil
-		}
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			queueFull = err
-		case errors.Is(err, ErrNeverFits):
-			neverFits = err
-		default:
-			lastErr = err
+	for _, tier := range r.tiers() {
+		for _, b := range rankByLoad(tier) {
+			tk, err := b.Submit(req)
+			if err == nil {
+				r.submitted.Add(1)
+				return tk, nil
+			}
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				queueFull = err
+			case errors.Is(err, ErrNeverFits):
+				neverFits = err
+			default:
+				lastErr = err
+			}
 		}
 	}
 	if queueFull != nil {
@@ -116,6 +110,42 @@ func (r *Router) Submit(req Request) (*Ticket, error) {
 		return nil, neverFits
 	}
 	return nil, lastErr
+}
+
+// tiers returns the dispatch tiers in preference order: the flat
+// replica set for a plain router, or the pooled submit tier followed by
+// the decode-replica fallback.
+func (r *Router) tiers() [][]Backend {
+	if len(r.submitTier) == 0 {
+		return [][]Backend{r.replicas}
+	}
+	return [][]Backend{r.submitTier, r.fallbackTier}
+}
+
+// rankByLoad orders backends least-loaded first by their Stats
+// snapshots: fewest queued+active requests, then most free KV blocks.
+func rankByLoad(backends []Backend) []Backend {
+	type candidate struct {
+		b    Backend
+		load int
+		free int
+	}
+	cands := make([]candidate, 0, len(backends))
+	for _, b := range backends {
+		st := b.Stats()
+		cands = append(cands, candidate{b: b, load: st.Queued + st.Active, free: st.FreeKVBlocks})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].free > cands[j].free
+	})
+	out := make([]Backend, len(cands))
+	for i, c := range cands {
+		out[i] = c.b
+	}
+	return out
 }
 
 // Stats returns the fleet-wide aggregate: counters, queue depths and
@@ -205,6 +235,10 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.CompressedKVBytes += st.CompressedKVBytes
 		agg.DecompressClaims += st.DecompressClaims
 		compOrigBytes += st.KVCompressionRatio * float64(st.CompressedKVBytes)
+		agg.Handoffs += st.Handoffs
+		agg.HandoffBytes += st.HandoffBytes
+		agg.HandoffFailures += st.HandoffFailures
+		agg.HandoffImports += st.HandoffImports
 		// Worst-replica cadence stall and the largest configured budget
 		// (fleets are normally homogeneous; max is the honest summary
 		// when they are not).
@@ -253,8 +287,14 @@ func aggregateStats(replicas []Stats) Stats {
 		}
 		if i == 0 {
 			agg.Policy = st.Policy
-		} else if agg.Policy != st.Policy {
-			agg.Policy = "mixed"
+			agg.Pool = st.Pool
+		} else {
+			if agg.Policy != st.Policy {
+				agg.Policy = "mixed"
+			}
+			if agg.Pool != st.Pool {
+				agg.Pool = string(PoolMixed)
+			}
 		}
 		ttft += st.MeanTTFT * float64(st.Completed)
 		tpot += st.MeanTPOT * float64(st.Completed)

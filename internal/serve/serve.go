@@ -53,6 +53,7 @@ package serve
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"zipserv/internal/engine"
@@ -80,6 +81,20 @@ const ArrivalNow = -1
 // when Config.TargetStepTime is zero: 50 ms between tokens, a humane
 // interactive cadence with prefill headroom on every modelled device.
 const DefaultTargetStepTime = 50e-3
+
+// PoolRole assigns a replica to a disaggregated serving tier (see
+// docs/disaggregation.md). A pooled router runs prompts to first token
+// on a prefill replica, then hands the compressed sequence to the
+// least-loaded decode replica; mixed replicas serve co-located, the
+// single-tier behaviour.
+type PoolRole string
+
+// The three replica pool roles. The empty string means PoolMixed.
+const (
+	PoolPrefill PoolRole = "prefill"
+	PoolDecode  PoolRole = "decode"
+	PoolMixed   PoolRole = "mixed"
+)
 
 // Class is a request priority class, consumed by PriorityPolicy.
 type Class string
@@ -191,6 +206,13 @@ type Config struct {
 	// pricing charges explicitly. Trades per-claim decompress latency
 	// for effective KV capacity. Requires PrefixCache.
 	CompressedCache bool
+	// Pool is the replica's disaggregation role. Empty or PoolMixed is
+	// the co-located default. A PoolPrefill replica under NewPooledRouter
+	// exports every sequence at its first token (shipping compressed KV
+	// to a decode replica) and, with AdaptiveChunking, runs the chunk
+	// controller at its decode-free operating point. A PoolDecode
+	// replica accepts those handoffs and continues the decodes.
+	Pool PoolRole
 }
 
 // EventType tags a streaming event.
@@ -204,6 +226,7 @@ const (
 	EventAdmitted   EventType = "admitted"
 	EventFirstToken EventType = "first_token"
 	EventPreempted  EventType = "preempted"
+	EventHandoff    EventType = "handoff" // imported by a decode replica
 	EventFinished   EventType = "finished"
 )
 
@@ -225,6 +248,10 @@ type Result struct {
 	OutputLen int   `json:"output_len"`
 	Class     Class `json:"class,omitempty"`
 	Preempted int   `json:"preempted,omitempty"` // times evicted and requeued
+	// Handoffs counts prefill→decode replica transfers the request's
+	// sequence made under a pooled router (normally 1 when
+	// disaggregated, 0 when served co-located).
+	Handoffs int `json:"handoffs,omitempty"`
 	// CachedTokens is how many prompt tokens the prefix cache served
 	// by reference (skipped prefill work) on the final admission.
 	CachedTokens int `json:"cached_tokens,omitempty"`
@@ -265,6 +292,20 @@ type Stats struct {
 	TotalKVBlocks int `json:"total_kv_blocks"`
 
 	Policy string `json:"policy,omitempty"`
+
+	// Disaggregation metrics. Pool echoes the replica's configured role
+	// ("mixed" on a heterogeneous router aggregate); Handoffs counts
+	// sequences this replica exported to a decode replica after their
+	// first token, with HandoffBytes their total compressed wire
+	// footprint; HandoffFailures counts dispatches no decode replica
+	// accepted (the sequence then continued co-located); HandoffImports
+	// counts sequences this replica imported and decoded to completion.
+	// A router sums the counters.
+	Pool            string `json:"pool,omitempty"`
+	Handoffs        int64  `json:"handoffs"`
+	HandoffBytes    int64  `json:"handoff_bytes"`
+	HandoffFailures int64  `json:"handoff_failures"`
+	HandoffImports  int64  `json:"handoff_imports"`
 
 	// WallSeconds is real elapsed time since the scheduler started (0
 	// before Start) — the denominator for wall-clock rates, which the
@@ -369,8 +410,10 @@ type call struct {
 	class      Class
 	ttftSLO    float64 // relative first-token deadline; 0 = none
 	preempts   int
+	handoffs   int     // replica transfers; written only by the call's current owner
 	admittedAt float64 // virtual time of the last admission
 	submitted  time.Time
+	done       atomic.Bool // set by finish; makes delivery idempotent
 	events     chan Event
 	result     chan Result
 	ticket     Ticket // returned to the submitter; embedded to spare an allocation
@@ -395,11 +438,17 @@ func (c *call) emit(ev Event) {
 }
 
 // finish delivers the final result (buffered, never blocks) and closes
-// the event stream.
+// the event stream. Idempotent: only the first delivery lands, so a
+// request served despite a duplicated handoff cannot double-close its
+// stream.
 func (c *call) finish(res Result) {
+	if !c.done.CompareAndSwap(false, true) {
+		return
+	}
 	res.ID = c.req.ID
 	res.Class = c.class
 	res.Preempted = c.preempts
+	res.Handoffs = c.handoffs
 	res.WallDuration = time.Since(c.submitted)
 	c.result <- res
 	close(c.events)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -24,7 +25,18 @@ type Server struct {
 	gate    sync.RWMutex // serialises Submit sends against Stop
 	stopped bool
 
-	nextID    atomic.Int64
+	// ids assigns request IDs. Private per server by default;
+	// NewPooledRouter points every pooled replica at one shared counter,
+	// because a sequence keeps its id across a prefill→decode handoff
+	// and ids minted by different replicas must never collide.
+	ids *atomic.Int64
+	// handoffCh receives mid-generation sequences exported by a prefill
+	// replica (acceptHandoff). handoffFn, set on prefill replicas by
+	// NewPooledRouter before Start, dispatches an export to a decode
+	// replica; nil means serve co-located.
+	handoffCh chan *handoff
+	handoffFn func(*handoff) error
+
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	startedAt atomic.Int64 // unix nanos; 0 until Start
@@ -89,10 +101,12 @@ func New(cfg Config) (*Server, error) {
 		seedRatio = 1.0
 	}
 	return &Server{
-		cfg:      cfg,
-		submitCh: make(chan *call, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:       cfg,
+		submitCh:  make(chan *call, cfg.QueueDepth),
+		handoffCh: make(chan *handoff, cfg.QueueDepth),
+		ids:       new(atomic.Int64),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 		// One backing array for the drain-rate window instead of a
 		// doubling cascade on the first completions.
 		recent: make([]time.Time, 0, 64),
@@ -113,6 +127,7 @@ func New(cfg Config) (*Server, error) {
 			CachePoolTarget:        seedPool,
 			CompressedCacheEnabled: cfg.CompressedCache,
 			KVCompressionRatio:     seedRatio,
+			Pool:                   string(cfg.Pool),
 		},
 	}, nil
 }
@@ -153,6 +168,11 @@ func validateConfig(cfg Config) error {
 	}
 	if cfg.CompressedCache && !cfg.PrefixCache {
 		return fmt.Errorf("serve: CompressedCache (-compressed-cache) requires PrefixCache (-prefix-cache)")
+	}
+	switch cfg.Pool {
+	case "", PoolMixed, PoolPrefill, PoolDecode:
+	default:
+		return fmt.Errorf("serve: unknown Pool (-pool) %q, want prefill, decode or mixed", cfg.Pool)
 	}
 	return nil
 }
@@ -222,7 +242,7 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	}
 	c := &call{
 		req: engine.Request{
-			ID:             int(s.nextID.Add(1)),
+			ID:             int(s.ids.Add(1)),
 			ArrivalSeconds: arrival,
 			PromptLen:      req.PromptLen,
 			OutputLen:      req.OutputLen,
@@ -275,8 +295,9 @@ func (s *Server) Stats() Stats {
 	st.Submitted = s.submitted.Load()
 	st.Rejected = s.rejected.Load()
 	// The published snapshot counts only the loop's pending list;
-	// requests still buffered in the submit channel are queued too.
-	st.Queued += len(s.submitCh)
+	// requests still buffered in the submit and handoff channels are
+	// queued too.
+	st.Queued += len(s.submitCh) + len(s.handoffCh)
 	if started := s.startedAt.Load(); started != 0 {
 		st.WallSeconds = time.Since(time.Unix(0, started)).Seconds()
 	}
@@ -294,31 +315,37 @@ func (s *Server) loop() {
 
 	sp, err := engine.NewStepper(s.cfg.Engine)
 	if err != nil {
-		s.failAll(nil, nil, err)
+		s.failAll(nil, nil, nil, err)
 		return
 	}
 	sp.PackedPrefill = !s.cfg.PaddedPrefill
 	sp.PrefillChunkTokens = s.cfg.PrefillChunkTokens
+	if s.cfg.Pool == PoolPrefill {
+		// A prefill replica's steady state has no decode batch: run the
+		// adaptive chunk controller at its decode-free operating point
+		// instead of chasing a headroom that never exists.
+		sp.DecodeFree = true
+	}
 	if s.cfg.AdaptiveChunking {
 		if err := sp.EnableAdaptiveChunking(s.cfg.TargetStepTime, 0, 0); err != nil {
-			s.failAll(nil, nil, err)
+			s.failAll(nil, nil, nil, err)
 			return
 		}
 	}
 	if s.cfg.PrefixCache {
 		if err := sp.EnablePrefixCache(s.cfg.PrefixCacheBlocks); err != nil {
-			s.failAll(nil, nil, err)
+			s.failAll(nil, nil, nil, err)
 			return
 		}
 		if s.cfg.AdaptivePrefixCache {
 			if err := sp.EnableAdaptivePrefixCache(0, 0); err != nil {
-				s.failAll(nil, nil, err)
+				s.failAll(nil, nil, nil, err)
 				return
 			}
 		}
 		if s.cfg.CompressedCache {
 			if err := sp.EnableCompressedCache(); err != nil {
-				s.failAll(nil, nil, err)
+				s.failAll(nil, nil, nil, err)
 				return
 			}
 		}
@@ -334,10 +361,11 @@ func (s *Server) loop() {
 	s.eligScratch = make([]Pending, 0, seed)
 	s.idxScratch = make([]int, 0, seed)
 	var (
-		pending  = make([]*call, 0, seed)
-		inflight = make(map[int]*call)
-		agg      aggregate
-		wasIdle  bool
+		pending   = make([]*call, 0, seed)
+		pendingHO []*handoff // handed-off sequences awaiting import
+		inflight  = make(map[int]*call)
+		agg       aggregate
+		wasIdle   bool
 	)
 	for {
 		// Observe idleness before draining the channel: whatever the
@@ -346,21 +374,28 @@ func (s *Server) loop() {
 		// window. Re-arming anywhere later would miss bursts whose
 		// first request lands between the end of one batch and the
 		// next iteration's drain.
-		if sp.InFlight() == 0 && len(pending) == 0 {
+		if sp.InFlight() == 0 && len(pending) == 0 && len(pendingHO) == 0 {
 			wasIdle = true
 		}
 		pending = s.drain(sp, pending)
+		pendingHO = s.drainHandoffs(pendingHO)
 
-		if sp.InFlight() == 0 && len(pending) == 0 {
-			// Fully idle: block for the next submission or shutdown.
+		if sp.InFlight() == 0 && len(pending) == 0 && len(pendingHO) == 0 {
+			// Fully idle: block for the next submission, handoff or
+			// shutdown.
 			select {
 			case c := <-s.submitCh:
 				pending = s.arrive(sp, pending, c)
 				continue
+			case h := <-s.handoffCh:
+				pendingHO = append(pendingHO, h)
+				continue
 			case <-s.stop:
 				// Anything that raced past the gate before Stop is
 				// buffered; serve it before exiting.
-				if pending = s.drain(sp, pending); len(pending) > 0 {
+				pending = s.drain(sp, pending)
+				pendingHO = s.drainHandoffs(pendingHO)
+				if len(pending) > 0 || len(pendingHO) > 0 {
 					continue
 				}
 				return
@@ -377,6 +412,10 @@ func (s *Server) loop() {
 			pending = s.coalesce(sp, pending)
 		}
 
+		// Land handed-off sequences before admission: an import advances
+		// the clock past its transfer, which can make queued arrivals
+		// eligible for the same batch.
+		pendingHO = s.importHandoffs(sp, pendingHO, inflight, &agg)
 		pending = s.admit(sp, pending, inflight, &agg)
 
 		// Prefill newcomers (packed, at most one chunk budget's worth of
@@ -387,11 +426,14 @@ func (s *Server) loop() {
 				c.emit(Event{Type: EventFirstToken, SimSeconds: m.FirstToken, TTFT: m.TTFT})
 			}
 		}
+		if s.handoffFn != nil {
+			s.dispatchHandoffs(sp, prefilled, inflight, &agg)
+		}
 		finished, decodeElapsed, err := sp.DecodeStep()
 		if err != nil {
 			// Scheduler invariant broken (unreachable under the
 			// conservative reservation): fail everything and halt.
-			s.failAll(pending, inflight, err)
+			s.failAll(pending, pendingHO, inflight, err)
 			return
 		}
 		for _, m := range finished {
@@ -406,7 +448,7 @@ func (s *Server) loop() {
 		sp.AdaptEpoch()
 		// Publish before delivering results: a caller that has seen a
 		// request's Result must observe stats that include it.
-		s.publish(sp, len(pending), len(inflight)-len(finished), &agg)
+		s.publish(sp, len(pending)+len(pendingHO), len(inflight)-len(finished), &agg)
 		for _, m := range finished {
 			c := inflight[m.ID]
 			delete(inflight, m.ID)
@@ -599,6 +641,130 @@ func runningViews(inflight map[int]*call) []Running {
 	return out
 }
 
+// acceptHandoff offers an exported sequence to this replica without
+// blocking, mirroring Submit's gating: ErrStopped after Stop,
+// ErrQueueFull when the handoff queue is at capacity. Called from a
+// prefill replica's scheduler goroutine through the pooled router's
+// dispatch ranking.
+func (s *Server) acceptHandoff(h *handoff) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.stopped {
+		return ErrStopped
+	}
+	select {
+	case s.handoffCh <- h:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// dispatchHandoffs exports every sequence that just produced its first
+// token and offers it to a decode replica. A successful dispatch
+// transfers ownership of the call — the importing replica decodes it to
+// completion and delivers the result; this server must not touch the
+// call again. A failed dispatch (every decode replica stopped or full)
+// falls back to co-located serving by re-importing the export into this
+// same stepper, which the prefix trie makes nearly free: the blocks the
+// export released are still advertised, so the claim reuses them
+// instead of expanding the wire payload.
+func (s *Server) dispatchHandoffs(sp *engine.Stepper, prefilled []engine.RequestMetrics, inflight map[int]*call, agg *aggregate) {
+	for _, m := range prefilled {
+		c := inflight[m.ID]
+		if c == nil || c.req.OutputLen <= 1 {
+			continue // nothing left to decode elsewhere
+		}
+		exp, err := sp.ExportSequence(m.ID)
+		if err != nil {
+			continue // finished during prefill; unreachable for OutputLen > 1
+		}
+		bytes := exp.CompressedBytes()
+		c.handoffs++ // before dispatch: the new owner may finish immediately
+		if s.handoffFn(&handoff{exp: exp, c: c}) != nil {
+			// Nothing crossed the wire: zero the priced transfer and thaw
+			// the sequence back into this stepper.
+			c.handoffs--
+			agg.handoffFailures++
+			exp.TransferSeconds = 0
+			if imerr := sp.ImportSequence(exp); imerr != nil {
+				// Unreachable: the export's footprint was resident here a
+				// moment ago and its reservation was just released.
+				delete(inflight, m.ID)
+				agg.failed++
+				c.finish(Result{Err: imerr})
+			}
+			continue
+		}
+		delete(inflight, m.ID)
+		agg.handoffs++
+		agg.handoffBytes += bytes
+	}
+}
+
+// importHandoffs lands pending handed-off sequences in the decode
+// batch. A handoff whose transfer completes in this replica's virtual
+// future waits while the batch keeps decoding (a busy replica never
+// stalls on an in-flight transfer; an idle one fast-forwards to it);
+// an import that does not fit yet is retried next iteration (capacity
+// frees as sequences finish); a duplicate of a sequence already in
+// flight is dropped, because the earlier copy is serving the call;
+// anything else fails the request.
+func (s *Server) importHandoffs(sp *engine.Stepper, hos []*handoff, inflight map[int]*call, agg *aggregate) []*handoff {
+	if len(hos) == 0 {
+		return hos
+	}
+	keep := hos[:0]
+	for _, h := range hos {
+		if h.c.done.Load() {
+			continue // late duplicate of an already-delivered request
+		}
+		if s.cfg.MaxBatch > 0 && sp.InFlight() >= s.cfg.MaxBatch {
+			keep = append(keep, h)
+			continue
+		}
+		if ready := h.exp.ExportedAt + h.exp.TransferSeconds; ready > sp.Clock() && sp.InFlight() > 0 {
+			// The transfer is still in this replica's virtual future:
+			// keep decoding and land the import once the clock catches
+			// up, instead of stalling the running batch on a jump to the
+			// ready time. Only an idle replica fast-forwards to it.
+			keep = append(keep, h)
+			continue
+		}
+		err := sp.ImportSequence(h.exp)
+		switch {
+		case err == nil:
+			inflight[h.exp.Req.ID] = h.c
+			agg.handoffImports++
+			h.c.emit(Event{Type: EventHandoff, SimSeconds: sp.Clock()})
+		case errors.Is(err, engine.ErrSequenceInFlight):
+			// Duplicate handoff: the import changed nothing; drop it.
+		case errors.Is(err, engine.ErrImportNoCapacity) && sp.InFlight() > 0:
+			keep = append(keep, h) // retry as the batch thins
+		default:
+			agg.failed++
+			h.c.finish(Result{Err: err})
+		}
+	}
+	// Clear the filtered tail so the backing array does not pin exports.
+	for i := len(keep); i < len(hos); i++ {
+		hos[i] = nil
+	}
+	return keep
+}
+
+// drainHandoffs empties the handoff channel without blocking.
+func (s *Server) drainHandoffs(hos []*handoff) []*handoff {
+	for {
+		select {
+		case h := <-s.handoffCh:
+			hos = append(hos, h)
+		default:
+			return hos
+		}
+	}
+}
+
 // drain empties the submit channel without blocking.
 func (s *Server) drain(sp *engine.Stepper, pending []*call) []*call {
 	for {
@@ -628,6 +794,11 @@ type aggregate struct {
 	ttftSum      float64
 	tpotSum      float64
 	queueWaitSum float64
+
+	handoffs        int64
+	handoffBytes    int64
+	handoffFailures int64
+	handoffImports  int64
 }
 
 func (a *aggregate) complete(m engine.RequestMetrics) {
@@ -649,6 +820,12 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		FreeKVBlocks:  sp.FreeBlocks(),
 		TotalKVBlocks: s.cfg.Engine.Plan().Blocks,
 		Policy:        s.cfg.Policy.Name(),
+
+		Pool:            string(s.cfg.Pool),
+		Handoffs:        agg.handoffs,
+		HandoffBytes:    agg.handoffBytes,
+		HandoffFailures: agg.handoffFailures,
+		HandoffImports:  agg.handoffImports,
 
 		SimSeconds:      sp.Clock(),
 		OutputTokens:    sp.OutputTokens(),
@@ -721,8 +898,9 @@ func (s *Server) pruneRecentLocked(now time.Time) {
 	}
 }
 
-// failAll terminates every queued and in-flight request with err.
-func (s *Server) failAll(pending []*call, inflight map[int]*call, err error) {
+// failAll terminates every queued, handed-off and in-flight request
+// with err.
+func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call, err error) {
 	s.gate.Lock()
 	if !s.stopped {
 		s.stopped = true
@@ -733,9 +911,14 @@ func (s *Server) failAll(pending []*call, inflight map[int]*call, err error) {
 		select {
 		case c := <-s.submitCh:
 			pending = append(pending, c)
+		case h := <-s.handoffCh:
+			hos = append(hos, h)
 		default:
 			for _, c := range pending {
 				c.finish(Result{Err: err})
+			}
+			for _, h := range hos {
+				h.c.finish(Result{Err: err})
 			}
 			for _, c := range inflight {
 				c.finish(Result{Err: err})

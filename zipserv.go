@@ -391,6 +391,32 @@ func NewLiveRouter(replicas ...LiveBackend) (*LiveRouter, error) {
 	return serve.NewRouter(replicas...)
 }
 
+// LivePool assigns a replica to a disaggregated serving tier
+// (LiveConfig.Pool): "prefill" replicas run prompts to their first
+// token and hand the sequence off, "decode" replicas continue the
+// decodes, "mixed" (or empty) serves co-located.
+type LivePool = serve.PoolRole
+
+// The disaggregation pool roles.
+const (
+	LivePoolPrefill = serve.PoolPrefill
+	LivePoolDecode  = serve.PoolDecode
+	LivePoolMixed   = serve.PoolMixed
+)
+
+// NewPooledLiveRouter builds a disaggregated prefill/decode router over
+// pool-labelled live servers: every prompt runs to its first token on a
+// prefill replica, then the mid-generation sequence — its KV compressed
+// through the TCA-TBE codec — moves to the least-loaded decode replica,
+// which verifies it bit-exactly (deduplicating prompt blocks its prefix
+// trie already holds) and decodes it to completion. Handoffs fail over
+// to another decode replica or back to co-located serving, and
+// submissions spill to the decode replicas when every prefill replica
+// is unavailable. See docs/disaggregation.md.
+func NewPooledLiveRouter(servers ...*LiveServer) (*LiveRouter, error) {
+	return serve.NewPooledRouter(servers...)
+}
+
 // ---- Warp-level divergence analysis (§3.2) ----
 
 // WarpReport summarises a lockstep warp execution.
