@@ -9,7 +9,11 @@
 // enough to enforce: benchmarks named with -gate-allocs fail the run
 // (exit 1) when their allocs/op regress more than -fail-allocs-pct
 // over the baseline, which is how the scheduler hot path's
-// allocation-lean discipline stays locked in.
+// allocation-lean discipline stays locked in. -require-zero-allocs is
+// the stricter absolute gate for paths whose contract is zero
+// steady-state allocation (the bitmap-scoreboard scheduler core): any
+// allocs/op > 0 fails, baseline or not, and a name matches itself or
+// any of its sub-benchmarks.
 //
 // Usage:
 //
@@ -50,15 +54,16 @@ func main() {
 	warnNsPct := flag.Float64("warn-ns-pct", 15, "warn when a benchmark's ns/op regresses more than this percentage")
 	failAllocsPct := flag.Float64("fail-allocs-pct", 20, "fail when a gated benchmark's allocs/op regresses more than this percentage")
 	gateAllocs := flag.String("gate-allocs", "", "comma-separated benchmark names whose allocs/op regressions fail the run")
+	zeroAllocs := flag.String("require-zero-allocs", "", "comma-separated benchmark names (sub-benchmarks included) that must report exactly 0 allocs/op")
 	flag.Parse()
 
-	if err := run(*benchPath, *baselinePath, *outPath, *commit, *warnNsPct, *failAllocsPct, *gateAllocs); err != nil {
+	if err := run(*benchPath, *baselinePath, *outPath, *commit, *warnNsPct, *failAllocsPct, *gateAllocs, *zeroAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "zipserv-benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, baselinePath, outPath, commit string, warnNsPct, failAllocsPct float64, gateAllocs string) error {
+func run(benchPath, baselinePath, outPath, commit string, warnNsPct, failAllocsPct float64, gateAllocs, zeroAllocs string) error {
 	if benchPath == "" {
 		return fmt.Errorf("-bench is required")
 	}
@@ -90,6 +95,33 @@ func run(benchPath, baselinePath, outPath, commit string, warnNsPct, failAllocsP
 	}
 
 	var failed bool
+	// The absolute zero-allocation gate runs against the fresh results
+	// alone — it must hold on the very first run that introduces a
+	// benchmark, before any baseline exists to diff against.
+	for _, g := range strings.Split(zeroAllocs, ",") {
+		if g = strings.TrimSpace(g); g == "" {
+			continue
+		}
+		matched := false
+		for _, r := range results {
+			if r.Name != g && !strings.HasPrefix(r.Name, g+"/") {
+				continue
+			}
+			matched = true
+			switch {
+			case r.AllocsPerOp < 0:
+				fmt.Printf("::error::%s requires 0 allocs/op but lacks allocs data (run with -benchmem)\n", r.Name)
+				failed = true
+			case r.AllocsPerOp > 0:
+				fmt.Printf("::error::%s reports %d allocs/op, want exactly 0 on this hot path\n", r.Name, r.AllocsPerOp)
+				failed = true
+			}
+		}
+		if !matched {
+			fmt.Printf("::error::zero-alloc-gated benchmark %s missing from the run\n", g)
+			failed = true
+		}
+	}
 	if baselinePath != "" {
 		base, err := loadBaseline(baselinePath)
 		if err != nil {

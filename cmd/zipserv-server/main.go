@@ -54,7 +54,8 @@ func main() {
 	backend := flag.String("backend", "zipserv", "live deployment: zipserv, vllm, transformers, dfloat11")
 	replicas := flag.Int("replicas", 1, "live deployment: engine replicas behind the capacity-aware router")
 	policyName := flag.String("policy", "fifo", "admission policy: "+strings.Join(serve.PolicyNames(), ", "))
-	queueDepth := flag.Int("queue", 256, "per-replica admission queue depth (beyond it, /v1/generate returns 429)")
+	queueDepth := flag.Int("queue", 256, "per-replica admission queue depth (beyond it, /v1/generate returns 429); "+
+		"scheduling cost is O(1) in depth, so deep queues (tens of thousands) are safe to configure")
 	maxBatch := flag.Int("max-batch", 0, "per-replica cap on concurrently scheduled sequences (0 = KV capacity only)")
 	prefillChunk := flag.Int("prefill-chunk", 0,
 		"prompt tokens prefilled per scheduler iteration (chunked prefill; 0 = whole prompts)")

@@ -43,6 +43,13 @@ type Running struct {
 // Implementations are called only from the scheduler goroutine and
 // need no internal locking, but must be usable by value across
 // replicas (no per-server state).
+//
+// The built-in policies are never actually scanned per slot: the
+// server recognises them and runs their exact ordering on an
+// incremental bitmap-scoreboard core (scoreboard.go, docs/
+// scheduling.md) whose per-slot decisions are O(1) in queue depth.
+// Custom implementations keep this slice-based contract and the
+// legacy linear admission path, at linear per-slot cost.
 type Policy interface {
 	// Name identifies the policy ("fifo", "priority", "slo") in flags,
 	// stats and logs.
@@ -100,6 +107,20 @@ func (FIFOPolicy) Victim(now float64, blocked Pending, running []Running) int { 
 // interactive rank, where its older arrival wins FIFO ties.
 const DefaultAgingSeconds = 5
 
+// agedToInteractive is the one promotion predicate both scheduling
+// paths share: a batch request that arrived at arrival has aged to
+// interactive rank once it has waited at least aging virtual seconds.
+// PriorityPolicy.Next and the scoreboard core's aging calendar
+// (schedCore.promote) must use this exact float comparison — a
+// re-derived form like arrival <= now-aging rounds differently and
+// could promote on different iterations. Phrased as age >= aging
+// (rather than the historical age < aging on the un-promoted side) so
+// a NaN-stamped arrival can never spuriously promote to interactive
+// rank: garbage stays at batch rank, it does not jump the queue.
+func agedToInteractive(now, arrival, aging float64) bool {
+	return now-arrival >= aging
+}
+
 // PriorityPolicy admits interactive-class requests before batch-class
 // ones, FIFO within a class. Aging makes it starvation-free: a batch
 // request that has waited AgingSeconds is promoted to interactive
@@ -117,14 +138,19 @@ type PriorityPolicy struct {
 // Name implements Policy.
 func (PriorityPolicy) Name() string { return "priority" }
 
-// Next picks the lowest (rank, arrival, index) among eligible.
+// Next picks the lowest (rank, arrival, id) among eligible. The final
+// tie-break is the submission id, not the slice index: two requests at
+// equal rank with identical arrival stamps (an out-of-order trace can
+// produce them) resolve the same way regardless of how the caller
+// ordered the view, which is what lets the scoreboard path — which
+// never sees slice indices — reproduce this policy's choices exactly.
 func (p PriorityPolicy) Next(now float64, eligible []Pending) int {
 	aging := p.AgingSeconds
 	if aging <= 0 {
 		aging = DefaultAgingSeconds
 	}
 	rank := func(q Pending) int {
-		if q.Class == ClassBatch && now-q.Arrival < aging {
+		if q.Class == ClassBatch && !agedToInteractive(now, q.Arrival, aging) {
 			return 1
 		}
 		return 0
@@ -132,7 +158,8 @@ func (p PriorityPolicy) Next(now float64, eligible []Pending) int {
 	best := 0
 	for i := 1; i < len(eligible); i++ {
 		ri, rb := rank(eligible[i]), rank(eligible[best])
-		if ri < rb || (ri == rb && eligible[i].Arrival < eligible[best].Arrival) {
+		if ri < rb || (ri == rb && (eligible[i].Arrival < eligible[best].Arrival ||
+			(eligible[i].Arrival == eligible[best].Arrival && eligible[i].ID < eligible[best].ID))) {
 			best = i
 		}
 	}
@@ -155,12 +182,17 @@ type SLOPolicy struct{}
 // Name implements Policy.
 func (SLOPolicy) Name() string { return "slo" }
 
-// Next picks the earliest (deadline, arrival, index) among eligible.
+// Next picks the earliest (deadline, arrival, id) among eligible. As
+// with PriorityPolicy, the final tie-break is the submission id rather
+// than the slice index, so a preempt-and-requeue cycle — which reorders
+// the pending queue a caller builds its view from — cannot flip a tied
+// decision, and the scoreboard path reproduces it exactly.
 func (SLOPolicy) Next(now float64, eligible []Pending) int {
 	best := 0
 	for i := 1; i < len(eligible); i++ {
 		di, db := eligible[i].Deadline, eligible[best].Deadline
-		if di < db || (di == db && eligible[i].Arrival < eligible[best].Arrival) {
+		if di < db || (di == db && (eligible[i].Arrival < eligible[best].Arrival ||
+			(eligible[i].Arrival == eligible[best].Arrival && eligible[i].ID < eligible[best].ID))) {
 			best = i
 		}
 	}
@@ -169,7 +201,14 @@ func (SLOPolicy) Next(now float64, eligible []Pending) int {
 
 // Victim picks the running sequence with the latest deadline, breaking
 // ties toward the most recent admission (least work lost), and only
-// when that deadline is strictly later than the blocked request's.
+// when that deadline is strictly later than the blocked request's. Two
+// sequences admitted in the same admission window carry the identical
+// virtual Admitted time, so a full (deadline, admitted) tie is
+// reachable; it resolves explicitly toward the lowest submission id —
+// the slice-order choice the historical scan made implicitly over its
+// ID-sorted view, now pinned so it cannot depend on how the caller
+// built the slice. Deterministic across the linear and scoreboard
+// implementations, enforced by FuzzPolicyEquivalence.
 func (SLOPolicy) Victim(now float64, blocked Pending, running []Running) int {
 	if math.IsInf(blocked.Deadline, 1) {
 		return -1 // no SLO at stake: wait for capacity
@@ -180,7 +219,8 @@ func (SLOPolicy) Victim(now float64, blocked Pending, running []Running) int {
 			continue
 		}
 		if best < 0 || q.Deadline > running[best].Deadline ||
-			(q.Deadline == running[best].Deadline && q.Admitted > running[best].Admitted) {
+			(q.Deadline == running[best].Deadline && (q.Admitted > running[best].Admitted ||
+				(q.Admitted == running[best].Admitted && q.ID < running[best].ID))) {
 			best = i
 		}
 	}

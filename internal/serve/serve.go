@@ -135,7 +135,11 @@ type Config struct {
 	// Engine prices every step and sizes the KV plan. Required.
 	Engine *engine.Engine
 	// QueueDepth bounds the admission queue; Submit fails with
-	// ErrQueueFull beyond it. Default 64.
+	// ErrQueueFull beyond it. Default 64. Per-slot scheduling cost is
+	// O(1) in queue depth for the built-in policies (the bitmap-
+	// scoreboard core, docs/scheduling.md), so depth can be sized for
+	// burst absorption alone; custom Policy implementations pay a
+	// linear scan per slot.
 	QueueDepth int
 	// MaxBatch caps concurrently scheduled sequences (0 = KV capacity
 	// is the only limit).
@@ -283,6 +287,11 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Preempted int64 `json:"preempted"` // policy evictions (requeued, not failed)
+	// PolicyFaults counts out-of-contract Policy.Next returns (an index
+	// past the eligible view) the scheduler clamped to the queue head —
+	// always 0 for the built-in policies; a nonzero value means a custom
+	// policy is buggy and the loop is overriding it to stay live.
+	PolicyFaults int64 `json:"policy_faults,omitempty"`
 
 	Queued int `json:"queued"` // waiting for admission
 	Active int `json:"active"` // holding KV capacity

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"sort"
 	"sync"
@@ -47,9 +48,24 @@ type Server struct {
 
 	// Admission-loop scratch, reused across iterations so the hot loop
 	// builds its eligible views without allocating. Only the scheduler
-	// goroutine touches these.
+	// goroutine touches these (legacy linear path; custom policies).
 	eligScratch []Pending
 	idxScratch  []int
+
+	// core is the bitmap-scoreboard scheduler state for the built-in
+	// policies (scoreboard.go): eligible requests bucketed at enqueue
+	// time, the running batch mirrored into a deadline scoreboard, and
+	// every per-slot decision O(1) in queue depth. Nil for custom
+	// Policy implementations, which keep the linear-scan path. Only
+	// the scheduler goroutine touches it.
+	core *schedCore
+
+	// policyFaults counts out-of-contract Policy.Next returns (an
+	// index past the eligible view) the loop clamped to the queue
+	// head; surfaced as Stats.PolicyFaults so a buggy third-party
+	// policy cannot silently stall a loaded system.
+	policyFaults atomic.Int64
+	faultLogOnce sync.Once
 
 	startOnce sync.Once
 }
@@ -102,6 +118,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg:       cfg,
+		core:      newSchedCore(cfg.Policy),
 		submitCh:  make(chan *call, cfg.QueueDepth),
 		handoffCh: make(chan *handoff, cfg.QueueDepth),
 		ids:       new(atomic.Int64),
@@ -294,6 +311,7 @@ func (s *Server) Stats() Stats {
 	s.statsMu.Unlock()
 	st.Submitted = s.submitted.Load()
 	st.Rejected = s.rejected.Load()
+	st.PolicyFaults = s.policyFaults.Load()
 	// The published snapshot counts only the loop's pending list;
 	// requests still buffered in the submit and handoff channels are
 	// queued too.
@@ -374,13 +392,13 @@ func (s *Server) loop() {
 		// window. Re-arming anywhere later would miss bursts whose
 		// first request lands between the end of one batch and the
 		// next iteration's drain.
-		if sp.InFlight() == 0 && len(pending) == 0 && len(pendingHO) == 0 {
+		if sp.InFlight() == 0 && len(pending)+s.core.len() == 0 && len(pendingHO) == 0 {
 			wasIdle = true
 		}
 		pending = s.drain(sp, pending)
 		pendingHO = s.drainHandoffs(pendingHO)
 
-		if sp.InFlight() == 0 && len(pending) == 0 && len(pendingHO) == 0 {
+		if sp.InFlight() == 0 && len(pending)+s.core.len() == 0 && len(pendingHO) == 0 {
 			// Fully idle: block for the next submission, handoff or
 			// shutdown.
 			select {
@@ -395,7 +413,7 @@ func (s *Server) loop() {
 				// buffered; serve it before exiting.
 				pending = s.drain(sp, pending)
 				pendingHO = s.drainHandoffs(pendingHO)
-				if len(pending) > 0 || len(pendingHO) > 0 {
+				if len(pending)+s.core.len() > 0 || len(pendingHO) > 0 {
 					continue
 				}
 				return
@@ -438,6 +456,9 @@ func (s *Server) loop() {
 		}
 		for _, m := range finished {
 			agg.complete(m)
+			if s.core != nil {
+				s.core.runningRemove(m.ID)
+			}
 		}
 		if len(finished) > 0 {
 			s.noteCompletions(len(finished))
@@ -448,7 +469,7 @@ func (s *Server) loop() {
 		sp.AdaptEpoch()
 		// Publish before delivering results: a caller that has seen a
 		// request's Result must observe stats that include it.
-		s.publish(sp, len(pending)+len(pendingHO), len(inflight)-len(finished), &agg)
+		s.publish(sp, len(pending)+s.core.len()+len(pendingHO), len(inflight)-len(finished), &agg)
 		for _, m := range finished {
 			c := inflight[m.ID]
 			delete(inflight, m.ID)
@@ -512,8 +533,14 @@ func (s *Server) coalesce(sp *engine.Stepper, pending []*call) []*call {
 // eligible requests (arrived on the virtual clock) are offered to the
 // policy one admission slot at a time, each admitted while its
 // conservative KV reservation fits — with the policy's preemption hook
-// invoked when it does not — and the batch cap allows.
+// invoked when it does not — and the batch cap allows. Built-in
+// policies run on the scoreboard core (O(1) per slot); custom ones
+// take the linear view-rebuild path below.
 func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*call, agg *aggregate) []*call {
+	if s.core != nil {
+		s.admitScoreboard(sp, inflight, agg)
+		return pending
+	}
 	for len(pending) > 0 {
 		if s.cfg.MaxBatch > 0 && sp.InFlight() >= s.cfg.MaxBatch {
 			break
@@ -542,7 +569,17 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 		}
 
 		pick := s.cfg.Policy.Next(sp.Clock(), eligible)
-		if pick < 0 || pick >= len(eligible) {
+		if pick >= len(eligible) {
+			// Out of contract: Next must return an index into eligible
+			// or a negative decline. Treating an over-long index like a
+			// decline would let a buggy third-party policy stall a
+			// loaded system indefinitely with no signal — so clamp to
+			// the queue head (the same override a decline gets on an
+			// idle system), count it, and say so once.
+			s.notePolicyFault(pick, len(eligible))
+			pick = 0
+		}
+		if pick < 0 {
 			if sp.InFlight() > 0 {
 				break // the policy defers to the running batch
 			}
@@ -579,6 +616,94 @@ func (s *Server) admit(sp *engine.Stepper, pending []*call, inflight map[int]*ca
 		pending = append(pending[:idxs[pick]], pending[idxs[pick]+1:]...)
 	}
 	return pending
+}
+
+// admitScoreboard is admit over the bitmap-scoreboard core: the
+// eligible view is maintained incrementally (clock advances promote
+// pending→eligible in arrival order; aged batch requests move rank)
+// instead of being rebuilt and re-ranked per slot, so each admission
+// decision — promote, peek, remove — is O(1) in queue depth and
+// allocation-free in steady state.
+func (s *Server) admitScoreboard(sp *engine.Stepper, inflight map[int]*call, agg *aggregate) {
+	sc := s.core
+	for sc.len() > 0 {
+		if s.cfg.MaxBatch > 0 && sp.InFlight() >= s.cfg.MaxBatch {
+			break
+		}
+		sc.promote(sp.Clock())
+		c, ok := sc.peek()
+		if !ok {
+			if sp.InFlight() > 0 {
+				break // future arrivals; keep decoding until then
+			}
+			sp.AdvanceTo(sc.nextArrival()) // idle fast-forward
+			continue
+		}
+		if !sp.CanAdmitRequest(c.req) {
+			s.makeRoomScoreboard(sp, c, inflight, agg)
+			if !sp.CanAdmitRequest(c.req) {
+				if sp.InFlight() > 0 {
+					break // capacity frees up as sequences finish
+				}
+				// Same defensive guard as the linear path: admission
+				// must make progress even if Submit's whole-plan check
+				// and CanAdmit drift apart.
+				agg.failed++
+				c.finish(Result{Err: fmt.Errorf("%w: %d+%d tokens vs %d-block plan",
+					ErrNeverFits, c.req.PromptLen, c.req.OutputLen, s.cfg.Engine.Plan().Blocks)})
+				sc.removeEligible(c.req.ID)
+				continue
+			}
+		}
+		if err := sp.Admit(c.req); err != nil {
+			agg.failed++
+			c.finish(Result{Err: err})
+			sc.removeEligible(c.req.ID)
+			continue
+		}
+		c.admittedAt = sp.Clock()
+		inflight[c.req.ID] = c
+		sc.removeEligible(c.req.ID)
+		sc.runningAdd(c)
+		c.emit(Event{Type: EventAdmitted, SimSeconds: sp.Clock(),
+			CachedTokens: sp.CachedTokensOf(c.req.ID)})
+	}
+}
+
+// makeRoomScoreboard mirrors makeRoom on the core: the victim is the
+// running scoreboard's reverse-CLZ pick instead of a full scan over
+// the batch. Victims are requeued through the core with their original
+// arrival (and hence original rank keys), exactly like the linear
+// path's requeue-at-the-back — the policies' fixed tie-breaks make the
+// two orders indistinguishable.
+func (s *Server) makeRoomScoreboard(sp *engine.Stepper, blocked *call, inflight map[int]*call, agg *aggregate) {
+	for !sp.CanAdmitRequest(blocked.req) {
+		vid, ok := s.core.victim(blocked.deadline())
+		if !ok {
+			return
+		}
+		req, ok := sp.Preempt(vid)
+		if !ok {
+			return // stale view; unreachable from the loop
+		}
+		vc := inflight[req.ID]
+		delete(inflight, req.ID)
+		s.core.runningRemove(req.ID)
+		vc.preempts++
+		agg.preempted++
+		vc.emit(Event{Type: EventPreempted, SimSeconds: sp.Clock()})
+		s.core.add(vc)
+	}
+}
+
+// notePolicyFault records an out-of-contract Policy.Next return:
+// counted every time (Stats.PolicyFaults), logged once per server.
+func (s *Server) notePolicyFault(pick, eligible int) {
+	s.policyFaults.Add(1)
+	s.faultLogOnce.Do(func() {
+		log.Printf("serve: policy %q returned index %d for %d eligible requests; clamping to 0 (counted in stats as policy_faults)",
+			s.cfg.Policy.Name(), pick, eligible)
+	})
 }
 
 // makeRoom asks the policy for preemption victims until blocked fits
@@ -691,12 +816,18 @@ func (s *Server) dispatchHandoffs(sp *engine.Stepper, prefilled []engine.Request
 				// Unreachable: the export's footprint was resident here a
 				// moment ago and its reservation was just released.
 				delete(inflight, m.ID)
+				if s.core != nil {
+					s.core.runningRemove(m.ID)
+				}
 				agg.failed++
 				c.finish(Result{Err: imerr})
 			}
 			continue
 		}
 		delete(inflight, m.ID)
+		if s.core != nil {
+			s.core.runningRemove(m.ID)
+		}
 		agg.handoffs++
 		agg.handoffBytes += bytes
 	}
@@ -735,6 +866,9 @@ func (s *Server) importHandoffs(sp *engine.Stepper, hos []*handoff, inflight map
 		switch {
 		case err == nil:
 			inflight[h.exp.Req.ID] = h.c
+			if s.core != nil {
+				s.core.runningAdd(h.c)
+			}
 			agg.handoffImports++
 			h.c.emit(Event{Type: EventHandoff, SimSeconds: sp.Clock()})
 		case errors.Is(err, engine.ErrSequenceInFlight):
@@ -778,10 +912,15 @@ func (s *Server) drain(sp *engine.Stepper, pending []*call) []*call {
 }
 
 // arrive stamps live submissions with the current virtual clock and
-// appends to the pending queue (submission order).
+// queues them: into the scoreboard core for built-in policies, or onto
+// the pending slice (submission order) for the legacy linear path.
 func (s *Server) arrive(sp *engine.Stepper, pending []*call, c *call) []*call {
 	if c.req.ArrivalSeconds < 0 {
 		c.req.ArrivalSeconds = sp.Clock()
+	}
+	if s.core != nil {
+		s.core.add(c)
+		return pending
 	}
 	return append(pending, c)
 }
@@ -811,11 +950,12 @@ func (a *aggregate) complete(m engine.RequestMetrics) {
 // publish copies a stats snapshot for concurrent readers.
 func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate) {
 	st := Stats{
-		Completed: agg.completed,
-		Failed:    agg.failed,
-		Preempted: agg.preempted,
-		Queued:    queued,
-		Active:    active,
+		Completed:    agg.completed,
+		Failed:       agg.failed,
+		Preempted:    agg.preempted,
+		PolicyFaults: s.policyFaults.Load(),
+		Queued:       queued,
+		Active:       active,
 
 		FreeKVBlocks:  sp.FreeBlocks(),
 		TotalKVBlocks: s.cfg.Engine.Plan().Blocks,
@@ -916,6 +1056,9 @@ func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call
 		default:
 			for _, c := range pending {
 				c.finish(Result{Err: err})
+			}
+			if s.core != nil {
+				s.core.drainAll(func(c *call) { c.finish(Result{Err: err}) })
 			}
 			for _, h := range hos {
 				h.c.finish(Result{Err: err})
