@@ -57,6 +57,20 @@
 // on decode TPOT p99 with an identical completion set and no fewer
 // completions.
 //
+// With -compare-affinity it drives one multi-tenant shared-prefix burst
+// workload — 8 tenants, each wave submitting two requests per tenant
+// that share that tenant's long prompt prefix, in a deterministically
+// shuffled order — through a 4-replica fleet twice: behind the plain
+// least-loaded router and behind the same router with prefix-affinity
+// dispatch enabled, and reports fleet prefix hits, affinity hit/spill
+// counters and TTFT percentiles — the locality win of steering requests
+// to the replica whose prefix-trie digest already covers their prompt.
+// Waves are submitted live and drained before the next wave starts, so
+// the replicas' published digests are warm when the router scores them.
+// -require-affinity-win turns the comparison into a CI gate: affinity
+// must produce strictly more fleet prefix hits AND a TTFT p50 no worse
+// than least-loaded, with an identical completion set.
+//
 // Every compare mode shares -csv to export its table, and every
 // -require-*-win flag funnels through the same winGate helper.
 //
@@ -71,6 +85,7 @@
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-compress -requests 8 -require-compress-win
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-adaptive -target-step-time 30ms -require-adaptive-win
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-disagg -requests 48 -require-disagg-win
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-affinity -requests 64 -require-affinity-win
 package main
 
 import (
@@ -111,6 +126,10 @@ func main() {
 		"replay a mixed long-prompt + chat workload through a disaggregated prefill/decode fleet and co-located two-replica fleets, comparing decode TPOT")
 	requireDisaggWin := flag.Bool("require-disagg-win", false,
 		"compare-disagg: exit non-zero unless disaggregation beats every co-located config on decode TPOT p99 with identical completions (CI gate)")
+	compareAffinity := flag.Bool("compare-affinity", false,
+		"drive a multi-tenant shared-prefix burst workload through a 4-replica fleet with least-loaded and prefix-affinity routing and compare fleet prefix hits and TTFT")
+	requireAffinityWin := flag.Bool("require-affinity-win", false,
+		"compare-affinity: exit non-zero unless affinity routing gets strictly more fleet prefix hits and a TTFT p50 no worse than least-loaded (CI gate)")
 	compareAdaptive := flag.Bool("compare-adaptive", false,
 		"replay a mixed long-prompt + shared-prefix workload under each static chunk budget and the adaptive controllers, comparing decode TPOT")
 	requireAdaptiveWin := flag.Bool("require-adaptive-win", false,
@@ -125,6 +144,8 @@ func main() {
 
 	var err error
 	switch {
+	case *compareAffinity:
+		err = runCompareAffinity(*model, *device, *gpus, *backend, *requests, *prompt, *csvPath, *requireAffinityWin)
 	case *compareDisagg:
 		err = runCompareDisagg(*model, *device, *gpus, *backend, *requests, *prompt, *csvPath, *requireDisaggWin)
 	case *compareCompress:
@@ -1020,6 +1041,232 @@ func runCompareDisagg(modelName, device string, gpus int, backend string, n, pro
 		"disaggregated decode TPOT p99 %.6fs >= best co-located (%s) %.6fs", disagg.p99, bestColoLabel, bestColo.p99)
 	gate.require(disagg.completed >= bestColo.completed,
 		"disaggregation completed %d requests, co-located %d", disagg.completed, bestColo.completed)
+	return gate.result()
+}
+
+// runCompareAffinity drives one multi-tenant shared-prefix burst
+// workload through a 4-replica fleet twice — behind the plain
+// least-loaded router, then behind the same fleet shape with
+// prefix-affinity dispatch enabled — and prints fleet prefix reuse,
+// the router's affinity hit/spill counters, and TTFT percentiles.
+//
+// The workload models tenants hammering their own system prompts: 8
+// tenants, each owning a 4×prompt-token shared prefix; every wave
+// submits two requests per tenant (unique prompt/2-token suffixes, 32
+// output tokens), in an order shuffled by a deterministic LCG seeded
+// per wave. The shuffle matters: submitted in a fixed tenant order,
+// least-loaded round-robin would accidentally pin tenants to replicas
+// and look affinity-aware; shuffling scatters them, which is exactly
+// what real interleaved arrivals do. Waves are submitted live
+// (ArrivalNow) and fully drained before the next wave starts, so every
+// replica's published prefix-trie digest is current when the router
+// scores the next wave — the affinity signal path this mode exists to
+// measure. Both fleets replay identical submission orders.
+//
+// With requireWin it exits non-zero unless affinity routing produced
+// strictly more fleet prefix hits AND a TTFT p50 no worse than
+// least-loaded, with an identical completion set — the CI gate for the
+// affinity-routing path. n (-requests) sizes the trace, rounded up to
+// whole 16-request waves; -rate, -out and -seed do not apply.
+func runCompareAffinity(modelName, device string, gpus int, backend string, n, prompt int, csvPath string, requireWin bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	if n <= 0 || prompt <= 0 {
+		return fmt.Errorf("invalid workload parameters")
+	}
+
+	const (
+		fleetSize = 4
+		tenants   = 8
+		perTenant = 2 // requests per tenant per wave
+		outputLen = 32
+	)
+	perWave := tenants * perTenant
+	waves := (n + perWave - 1) / perWave
+	if waves < 2 {
+		waves = 2 // wave 1 only seeds the digests; the win needs a warm wave
+	}
+	total := waves * perWave
+	prefixLen, suffixLen := 4*prompt, prompt/2
+	if suffixLen == 0 {
+		suffixLen = 1
+	}
+	tokens := func(n, seed int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = seed*100003 + i*131
+		}
+		return out
+	}
+	prefixes := make([][]int, tenants)
+	for t := range prefixes {
+		prefixes[t] = tokens(prefixLen, 1000+t)
+	}
+	// Canonical request list, wave-major; submission order within a wave
+	// is a Fisher–Yates shuffle driven by an LCG seeded on the wave
+	// index, identical across both fleets.
+	reqs := make([]zipserv.LiveRequest, total)
+	for w := 0; w < waves; w++ {
+		for t := 0; t < tenants; t++ {
+			for k := 0; k < perTenant; k++ {
+				idx := w*perWave + t*perTenant + k
+				p := append(append([]int(nil), prefixes[t]...), tokens(suffixLen, 7000+idx)...)
+				reqs[idx] = zipserv.LiveRequest{
+					Prompt: p, OutputLen: outputLen, Arrival: zipserv.LiveArrivalNow,
+				}
+			}
+		}
+	}
+	waveOrder := func(w int) []int {
+		order := make([]int, perWave)
+		for i := range order {
+			order[i] = w*perWave + i
+		}
+		x := uint64(w)*2654435761 + 12345
+		for i := perWave - 1; i > 0; i-- {
+			x = x*6364136223846793005 + 1442695040888963407
+			j := int((x >> 33) % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		return order
+	}
+
+	runFleet := func(affinity bool) ([]zipserv.LiveResult, zipserv.LiveStats, error) {
+		var stats zipserv.LiveStats
+		backends := make([]zipserv.LiveBackend, fleetSize)
+		for i := range backends {
+			eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+				Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+			})
+			if err != nil {
+				return nil, stats, err
+			}
+			srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{
+				Engine: eng, QueueDepth: total, PrefixCache: true,
+			})
+			if err != nil {
+				return nil, stats, err
+			}
+			backends[i] = srv
+		}
+		router, err := zipserv.NewLiveRouter(backends...)
+		if err != nil {
+			return nil, stats, err
+		}
+		if affinity {
+			// A generous band: tenant pinning concentrates load a little
+			// by design, and spilling on every transient imbalance would
+			// throw the cache away.
+			if err := router.EnableAffinity(zipserv.LiveAffinityConfig{LoadBand: 16}); err != nil {
+				return nil, stats, err
+			}
+		}
+		router.Start()
+		results := make([]zipserv.LiveResult, total)
+		for w := 0; w < waves; w++ {
+			order := waveOrder(w)
+			tickets := make([]*zipserv.LiveTicket, len(order))
+			for i, idx := range order {
+				if tickets[i], err = router.Submit(reqs[idx]); err != nil {
+					return nil, stats, err
+				}
+			}
+			for i, idx := range order {
+				results[idx] = <-tickets[i].Result()
+				if results[idx].Err != nil {
+					return nil, stats, results[idx].Err
+				}
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := router.Stop(ctx); err != nil {
+			return nil, stats, err
+		}
+		return results, router.Stats(), nil
+	}
+
+	type row struct {
+		mode        string
+		p50, p99    float64
+		hits, saved int64
+		affHits     int64
+		affSpills   int64
+		completed   int64
+		goodput     float64
+	}
+	rows := make([]row, 0, 2)
+	var resultSets [2][]zipserv.LiveResult
+	for run, affinity := range []bool{false, true} {
+		results, st, err := runFleet(affinity)
+		if err != nil {
+			return err
+		}
+		resultSets[run] = results
+		ttfts := make([]float64, len(results))
+		for i, res := range results {
+			ttfts[i] = res.TTFT
+		}
+		mode := "least-loaded"
+		if affinity {
+			mode = "affinity"
+		}
+		rows = append(rows, row{
+			mode: mode, p50: percentile(ttfts, 0.50), p99: percentile(ttfts, 0.99),
+			hits: st.PrefixHits, saved: st.PrefixTokensSaved,
+			affHits: st.PrefixAffinityHits, affSpills: st.AffinitySpills,
+			completed: st.Completed, goodput: st.Goodput,
+		})
+	}
+
+	fmt.Printf("affinity burst: %d tenants x %d waves x %d requests, %d-token shared prefix + %d suffix, %d replicas (%s on %dx %s, %s)\n\n",
+		tenants, waves, perTenant, prefixLen, suffixLen, fleetSize, modelName, gpus, device, backend)
+	fmt.Printf("%-14s %14s %14s %12s %14s %10s %10s %12s\n",
+		"routing", "TTFT p50(s)", "TTFT p99(s)", "hits", "tokens saved", "aff hits", "spills", "goodput(r/s)")
+	csv := newCSVTable("routing", "ttft_p50_s", "ttft_p99_s", "prefix_hits", "prefix_tokens_saved",
+		"prefix_affinity_hits", "affinity_spills", "completed", "goodput_rps")
+	for _, r := range rows {
+		fmt.Printf("%-14s %14.4f %14.4f %12d %14d %10d %10d %12.2f\n",
+			r.mode, r.p50, r.p99, r.hits, r.saved, r.affHits, r.affSpills, r.goodput)
+		csv.add(r.mode, fmt.Sprintf("%.6f", r.p50), fmt.Sprintf("%.6f", r.p99),
+			fmt.Sprintf("%d", r.hits), fmt.Sprintf("%d", r.saved),
+			fmt.Sprintf("%d", r.affHits), fmt.Sprintf("%d", r.affSpills),
+			fmt.Sprintf("%d", r.completed), fmt.Sprintf("%.3f", r.goodput))
+	}
+	base, aff := rows[0], rows[1]
+	fmt.Printf("\naffinity fleet prefix hits: %d vs %d, TTFT p50: %.4fs vs %.4fs",
+		aff.hits, base.hits, aff.p50, base.p50)
+	if aff.p50 > 0 {
+		fmt.Printf(" (%.2fx)", base.p50/aff.p50)
+	}
+	fmt.Println()
+	if err := csv.write(csvPath); err != nil {
+		return err
+	}
+
+	// Completion identity: both fleets replay the same submission orders
+	// and the runner fails on any per-request error, so each canonical
+	// index must describe the same (prompt, output) pair.
+	for i := range resultSets[0] {
+		b, a := resultSets[0][i], resultSets[1][i]
+		if b.PromptLen != a.PromptLen || b.OutputLen != a.OutputLen {
+			return fmt.Errorf("completion %d differs: least-loaded=(%d/%d) affinity=(%d/%d)",
+				i, b.PromptLen, b.OutputLen, a.PromptLen, a.OutputLen)
+		}
+	}
+	gate := newWinGate(requireWin)
+	gate.require(aff.hits > base.hits,
+		"affinity fleet prefix hits %d <= least-loaded %d", aff.hits, base.hits)
+	gate.require(aff.p50 <= base.p50,
+		"affinity TTFT p50 %.6fs > least-loaded %.6fs", aff.p50, base.p50)
+	gate.require(aff.completed == base.completed,
+		"affinity completed %d requests, least-loaded %d", aff.completed, base.completed)
 	return gate.result()
 }
 

@@ -13,6 +13,7 @@
 //	zipserv-server -replicas 2 -pool prefill,decode -prefix-cache    # disaggregated pools
 //	zipserv-server -prefill-chunk 256 -admit-window 5ms -time-scale 1
 //	zipserv-server -prefix-cache -prefix-cache-blocks 4096
+//	zipserv-server -replicas 4 -prefix-cache -affinity -affinity-load-band 8    # cache-aware routing
 //	zipserv-server -adaptive-chunk -target-step-time 30ms -prefix-cache -adaptive-prefix-cache
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
@@ -75,6 +76,11 @@ func main() {
 		"resize the warm prefix-cache pool per admission epoch from hit rates and KV pressure instead of -prefix-cache-blocks")
 	compressedCache := flag.Bool("compressed-cache", false,
 		"store cold prefix-cache blocks TCA-TBE-compressed (freed physical blocks become capacity; claims decompress on demand)")
+	affinity := flag.Bool("affinity", false,
+		"prefix-affinity routing: steer requests sharing a cached prompt prefix to the replica already holding it "+
+			"(needs -prefix-cache and token-array prompts; spills to least-loaded outside the load band)")
+	affinityLoadBand := flag.Int("affinity-load-band", 0,
+		"affinity spill bound: how many queued+active requests past the least-loaded replica the cache-preferred one may hold and still win (0 = default 8)")
 	pool := flag.String("pool", "",
 		"disaggregation pool roles, comma-separated per replica in order (prefill, decode, mixed); "+
 			"one value applies to every replica; any prefill/decode role routes prompts prefill→decode with compressed KV handoff")
@@ -139,24 +145,39 @@ func main() {
 		}
 		servers[i] = srv
 	}
+	if *affinity && !*prefixCache {
+		log.Fatalf("zipserv-server: -affinity needs -prefix-cache (the routing signal is the replicas' prefix-trie digests)")
+	}
+	if *affinity && !pooled && *replicas == 1 {
+		log.Fatalf("zipserv-server: -affinity needs -replicas > 1 or disaggregated -pool roles (one replica leaves nothing to steer between)")
+	}
+	if *affinityLoadBand < 0 || (*affinityLoadBand > 0 && !*affinity) {
+		log.Fatalf("zipserv-server: -affinity-load-band needs -affinity and a non-negative value, got %d", *affinityLoadBand)
+	}
 	var live serve.Backend = servers[0]
+	var router *serve.Router
 	switch {
 	case pooled:
-		router, err := serve.NewPooledRouter(servers...)
+		r, err := serve.NewPooledRouter(servers...)
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
 		}
-		live = router
+		router, live = r, r
 	case *replicas > 1:
 		backends := make([]serve.Backend, len(servers))
 		for i, sv := range servers {
 			backends[i] = sv
 		}
-		router, err := serve.NewRouter(backends...)
+		r, err := serve.NewRouter(backends...)
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
 		}
-		live = router
+		router, live = r, r
+	}
+	if *affinity {
+		if err := router.EnableAffinity(serve.AffinityConfig{LoadBand: *affinityLoadBand}); err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
 	}
 	live.Start()
 
@@ -199,6 +220,9 @@ func main() {
 	poolDesc := ""
 	if pooled {
 		poolDesc = fmt.Sprintf(", disaggregated pools [%s]", *pool)
+	}
+	if *affinity {
+		poolDesc += ", prefix-affinity routing"
 	}
 	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s, %s%s)",
 		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc, cacheDesc, poolDesc)

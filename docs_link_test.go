@@ -1,0 +1,61 @@
+package zipserv
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links/images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve walks every markdown page of the documentation
+// surface — docs/ plus the repo-root pages — and fails on any relative
+// link whose target file does not exist. External (http, mailto) and
+// pure-fragment links are skipped; a fragment on a relative link is
+// stripped before the existence check. This is the CI link checker:
+// renaming or dropping a docs page without fixing its referrers fails
+// `go test ./...`. Imported reference material (paper scrapes, code
+// snippets) is not part of the surface and is excluded.
+func TestDocsLinksResolve(t *testing.T) {
+	imported := map[string]bool{"PAPER.md": true, "PAPERS.md": true, "SNIPPETS.md": true, "ISSUE.md": true}
+	var pages []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, page := range m {
+			if !imported[page] {
+				pages = append(pages, page)
+			}
+		}
+	}
+	if len(pages) == 0 {
+		t.Fatal("no markdown pages found; is the test running from the repo root?")
+	}
+	for _, page := range pages {
+		body, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+				continue // external
+			case strings.HasPrefix(target, "#"):
+				continue // same-page fragment
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(page), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s)", page, m[1], err)
+			}
+		}
+	}
+}

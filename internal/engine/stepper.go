@@ -340,6 +340,11 @@ func (s *Stepper) CachePressureEWMA() float64 { return s.mgr.CachePressureEWMA()
 // cached prefix block.
 func (s *Stepper) PrefixHits() int64 { return s.mgr.PrefixHits() }
 
+// PrefixSummary returns the memoized digest of the replica's prefix
+// trie for affinity routing (nil when prefix caching is off); see
+// kvcache.PrefixSummary.
+func (s *Stepper) PrefixSummary() *kvcache.PrefixSummary { return s.mgr.PrefixSummary() }
+
 // PrefixTokensSaved returns the total prompt tokens served from the
 // prefix cache instead of being re-prefilled.
 func (s *Stepper) PrefixTokensSaved() int64 { return s.mgr.PrefixTokensSaved() }

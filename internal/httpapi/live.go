@@ -53,7 +53,13 @@ import (
 // metrics as one JSON object.
 //
 // When the backend is a router, /v1/stats reports the fleet aggregate
-// plus a per-replica breakdown under "replicas".
+// plus a per-replica breakdown under "replicas". Prefix-cache-enabled
+// replicas also publish their prefix-trie digest ("prefix_summary",
+// with "prefix_summary_age_seconds" since its last change), the signal
+// a router with prefix-affinity dispatch scores to steer shared-prefix
+// requests; the routing outcomes surface as "prefix_affinity_hits" and
+// "affinity_spills" on the aggregate. Every /v1/stats field — unit and
+// fleet aggregation rule — is catalogued in docs/stats-reference.md.
 func NewLiveMux(live serve.Backend) *http.ServeMux {
 	mux := NewMux()
 	mux.HandleFunc("/v1/generate", handleGenerate(live))

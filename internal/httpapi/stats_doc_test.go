@@ -1,0 +1,68 @@
+package httpapi
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zipserv/internal/kvcache"
+	"zipserv/internal/serve"
+)
+
+// statsJSONKeys collects the JSON keys a struct type serialises to,
+// recursing into nested structs (by value or pointer) so the digest's
+// sub-object keys count too.
+func statsJSONKeys(t *testing.T, typ reflect.Type, into map[string]bool) {
+	t.Helper()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		tag := strings.Split(f.Tag.Get("json"), ",")[0]
+		if tag == "-" {
+			continue
+		}
+		ft := f.Type
+		if ft.Kind() == reflect.Pointer {
+			ft = ft.Elem()
+		}
+		if f.Anonymous && tag == "" {
+			statsJSONKeys(t, ft, into) // embedded: keys inline
+			continue
+		}
+		if tag == "" {
+			t.Fatalf("stats field %s.%s has no json tag", typ.Name(), f.Name)
+		}
+		into[tag] = true
+		if ft.Kind() == reflect.Struct && ft != reflect.TypeOf(serve.Stats{}) {
+			statsJSONKeys(t, ft, into)
+		}
+	}
+}
+
+// TestStatsReferenceDocumentsEveryKey fails when a key served by
+// /v1/stats — the flat serve.Stats surface, the routed extras, or the
+// nested prefix-summary digest — is missing from
+// docs/stats-reference.md. Adding a stats field without documenting its
+// unit and fleet aggregation rule is a doc regression, caught here.
+func TestStatsReferenceDocumentsEveryKey(t *testing.T) {
+	keys := make(map[string]bool)
+	statsJSONKeys(t, reflect.TypeOf(serve.Stats{}), keys)
+	statsJSONKeys(t, reflect.TypeOf(RoutedStats{}), keys)
+	statsJSONKeys(t, reflect.TypeOf(kvcache.PrefixSummary{}), keys)
+
+	doc, err := os.ReadFile("../../docs/stats-reference.md")
+	if err != nil {
+		t.Fatalf("stats reference missing: %v", err)
+	}
+	text := string(doc)
+	var missing []string
+	for key := range keys {
+		if !strings.Contains(text, "`"+key+"`") {
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("docs/stats-reference.md is missing %d stats key(s): %s",
+			len(missing), strings.Join(missing, ", "))
+	}
+}

@@ -66,6 +66,9 @@ type Manager struct {
 	pops   int64        // lifetime physical block claims
 	gen    int64        // bumped on mutations that can change prefix lookups
 
+	summary    *PrefixSummary // memoized trie digest (see summary.go)
+	summaryGen int64          // generation the memoized digest was built at
+
 	// Compressed cold-block state (see coldstore.go; nil = off).
 	compStore    *CompressedStore
 	frozenSeq    int   // next compressed-store key (ids start at 1)

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"zipserv/internal/engine"
+	"zipserv/internal/kvcache"
+)
+
+// Prefix-affinity, cache-aware dispatch (docs/routing.md): instead of
+// scattering requests that share a system prompt across the fleet —
+// duplicating the prefix trie on every replica — an affinity-enabled
+// router estimates each replica's cached overlap with the prompt from
+// the prefix-trie digest riding its stats snapshot (root fingerprints
+// gate the first block exactly; a bloom filter extends the match block
+// by block) and prefers the replica with the most cached tokens to
+// reuse. Affinity only wins inside a bounded load band: when the
+// preferred replica's queue depth sits more than LoadBand past the
+// least-loaded candidate, or its free blocks cannot hold the request's
+// reservation, the router spills to plain least-loaded dispatch —
+// cache locality is a latency optimisation, never a hotspot generator.
+// Dispatch stays deterministic: scoring reads one stats snapshot per
+// candidate and every ordering is a stable sort.
+
+// AffinityConfig tunes the router's prefix-affinity dispatch. The zero
+// value selects sane defaults for every field.
+type AffinityConfig struct {
+	// LoadBand bounds how far past the least-loaded candidate's
+	// queued+active depth the preferred replica may sit and still win.
+	// Past it the dispatch spills to least-loaded. Default 8.
+	LoadBand int
+	// MinFreeBlocks is a free-KV-block floor on the preferred replica,
+	// on top of the request's own conservative prompt+output
+	// reservation (which is always required). Default 0.
+	MinFreeBlocks int
+	// MinOverlapTokens is the smallest estimated cached overlap worth
+	// steering for; smaller matches route least-loaded. Default: one
+	// KV block (kvcache.DefaultBlockTokens).
+	MinOverlapTokens int
+	// LongPromptTokens marks a prompt as long: at or above it,
+	// equally-loaded candidates tie-break toward replicas whose
+	// adaptive chunk budget sits at its ceiling — the PR 5 controller's
+	// idle operating point, meaning a loop with prefill headroom to
+	// spare — before free blocks. Default engine.DefaultAdaptiveChunkMax.
+	LongPromptTokens int
+}
+
+func (cfg *AffinityConfig) defaults() {
+	if cfg.LoadBand == 0 {
+		cfg.LoadBand = 8
+	}
+	if cfg.MinOverlapTokens == 0 {
+		cfg.MinOverlapTokens = kvcache.DefaultBlockTokens
+	}
+	if cfg.LongPromptTokens == 0 {
+		cfg.LongPromptTokens = engine.DefaultAdaptiveChunkMax
+	}
+}
+
+// EnableAffinity turns on prefix-affinity dispatch for every subsequent
+// Submit (and, on a pooled router, every prefill→decode handoff
+// dispatch). Call it before traffic; it is not synchronised against
+// in-flight Submits. Requests without prompt tokens always route
+// least-loaded — there is nothing to match.
+func (r *Router) EnableAffinity(cfg AffinityConfig) error {
+	if cfg.LoadBand < 0 {
+		return fmt.Errorf("serve: affinity LoadBand must be >= 0, got %d", cfg.LoadBand)
+	}
+	if cfg.MinFreeBlocks < 0 {
+		return fmt.Errorf("serve: affinity MinFreeBlocks must be >= 0, got %d", cfg.MinFreeBlocks)
+	}
+	if cfg.MinOverlapTokens < 0 {
+		return fmt.Errorf("serve: affinity MinOverlapTokens must be >= 0, got %d", cfg.MinOverlapTokens)
+	}
+	if cfg.LongPromptTokens < 0 {
+		return fmt.Errorf("serve: affinity LongPromptTokens must be >= 0, got %d", cfg.LongPromptTokens)
+	}
+	cfg.defaults()
+	r.affinity = &cfg
+	return nil
+}
+
+// AffinityEnabled reports whether prefix-affinity dispatch is on.
+func (r *Router) AffinityEnabled() bool { return r.affinity != nil }
+
+// affinityCandidate is one replica's scored view for a dispatch.
+type affinityCandidate struct {
+	b           Backend
+	idx         int // original tier index, the final determinism tie-break
+	load        int // queued+active
+	free        int // free KV blocks
+	overlap     int // estimated cached prompt tokens from the trie digest
+	blockTokens int // the candidate's digest granularity (0 = no digest)
+	idle        bool
+}
+
+// rankForRequest orders a tier for one request. Without affinity (or
+// without prompt tokens) it is plain least-loaded ranking and preferred
+// is nil. With affinity it snapshots each candidate once, scores the
+// estimated prefix overlap against the request, and — when some
+// candidate's overlap clears MinOverlapTokens — puts the best
+// in-band-and-fitting one first. preferred then names the replica the
+// request *wants* (the best overlap, in or out of band): landing there
+// counts as an affinity hit, landing anywhere else as a spill.
+func (r *Router) rankForRequest(tier []Backend, req Request) (ranked []Backend, preferred Backend) {
+	if r.affinity == nil || len(req.Prompt) == 0 {
+		return rankByLoad(tier), nil
+	}
+	cfg := r.affinity
+	// PromptLen may be omitted when tokens are given (Server.Submit
+	// defaults it later); score with the effective length.
+	promptLen := req.PromptLen
+	if promptLen == 0 {
+		promptLen = len(req.Prompt)
+	}
+	longPrompt := promptLen >= cfg.LongPromptTokens
+
+	cands := make([]affinityCandidate, 0, len(tier))
+	hashed := make(map[int]kvcache.HashedPrompt, 1) // per block granularity
+	minLoad := -1
+	for i, b := range tier {
+		st := b.Stats()
+		c := affinityCandidate{
+			b: b, idx: i,
+			load: st.Queued + st.Active,
+			free: st.FreeKVBlocks,
+			// Budget pinned at its ceiling = the adaptive controller's
+			// idle operating point: the loop has prefill headroom to
+			// spare, a good home for a long prompt.
+			idle: st.AdaptiveChunking && st.ChunkBudgetMax > 0 && st.ChunkBudget >= st.ChunkBudgetMax,
+		}
+		if s := st.PrefixSummary; s != nil {
+			hp, ok := hashed[s.BlockTokens]
+			if !ok {
+				hp = kvcache.HashPromptTokens(req.Prompt, s.BlockTokens)
+				hashed[s.BlockTokens] = hp
+			}
+			c.overlap = s.MatchTokens(hp)
+			c.blockTokens = s.BlockTokens
+		}
+		if minLoad < 0 || c.load < minLoad {
+			minLoad = c.load
+		}
+		cands = append(cands, c)
+	}
+
+	// The replica the request wants: best overlap, band or no band.
+	// Ties break toward lower load, then tier order.
+	want := -1
+	for i, c := range cands {
+		if c.overlap < cfg.MinOverlapTokens {
+			continue
+		}
+		if want < 0 || c.overlap > cands[want].overlap ||
+			(c.overlap == cands[want].overlap && c.load < cands[want].load) {
+			want = i
+		}
+	}
+
+	// Least-loaded order for everything else (and the spill path), with
+	// the long-prompt idle-loop tie-break folded in.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		if longPrompt && cands[i].idle != cands[j].idle {
+			return cands[i].idle
+		}
+		return cands[i].free > cands[j].free
+	})
+
+	ranked = make([]Backend, 0, len(cands))
+	if want >= 0 {
+		preferred = tier[want]
+		pc := cands[0] // locate the wanted candidate post-sort
+		for _, c := range cands {
+			if c.idx == want {
+				pc = c
+				break
+			}
+		}
+		// Affinity wins only in band and with room for the reservation:
+		// the preferred replica moves to the front of the ranking.
+		// Out of band or under the floor the dispatch deliberately
+		// spills — the preferred replica is demoted to last-resort
+		// failover, so the request goes somewhere with room even when
+		// the starved replica is momentarily the least-loaded (failover
+		// may still reach it when everything else rejects, which then
+		// counts as a hit).
+		bt := pc.blockTokens
+		if bt <= 0 {
+			bt = kvcache.DefaultBlockTokens
+		}
+		need := kvcache.BlocksFor(promptLen+req.OutputLen, bt)
+		if pc.load <= minLoad+cfg.LoadBand && pc.free >= need && pc.free >= cfg.MinFreeBlocks {
+			ranked = append(ranked, preferred)
+			for _, c := range cands {
+				if c.b != preferred {
+					ranked = append(ranked, c.b)
+				}
+			}
+		} else {
+			for _, c := range cands {
+				if c.b != preferred {
+					ranked = append(ranked, c.b)
+				}
+			}
+			ranked = append(ranked, preferred)
+		}
+		return ranked, preferred
+	}
+	for _, c := range cands {
+		ranked = append(ranked, c.b)
+	}
+	return ranked, preferred
+}
+
+// noteDispatch records where an affinity-scored request actually
+// landed: on the replica it wanted (hit) or anywhere else (spill).
+func (r *Router) noteDispatch(landed, preferred Backend) {
+	if preferred == nil {
+		return
+	}
+	if landed == preferred {
+		r.affinityHits.Add(1)
+	} else {
+		r.affinitySpills.Add(1)
+	}
+}

@@ -82,27 +82,39 @@ func NewPooledRouter(servers ...*Server) (*Router, error) {
 	for _, sv := range servers {
 		sv.ids = ids
 	}
+	r := &Router{replicas: backends, submitTier: submit, fallbackTier: fallback}
 	for _, p := range prefills {
-		p.handoffFn = dispatchFn(decodes)
+		p.handoffFn = r.dispatchHandoff(decodes)
 	}
-	return &Router{replicas: backends, submitTier: submit, fallbackTier: fallback}, nil
+	return r, nil
 }
 
-// dispatchFn offers an export to the decode replicas least-loaded
-// first. Acceptance only queues the handoff — the import happens on the
-// target's scheduler goroutine — so a target that dies after accepting
-// still serves it through its drain path. When every replica rejects
-// (stopped or full) the error sends the caller down its co-located
-// fallback.
-func dispatchFn(decodes []*Server) func(*handoff) error {
+// dispatchHandoff builds the prefill replicas' export-dispatch hook:
+// it offers an export to the decode replicas least-loaded first — or,
+// when the router has affinity enabled, to the decode replica whose
+// prefix-trie digest best overlaps the sequence's prompt (the import
+// dedups prompt blocks against the target's trie, so a matching target
+// both shrinks the effective transfer and seeds future submissions'
+// affinity). Acceptance only queues the handoff — the import happens on
+// the target's scheduler goroutine — so a target that dies after
+// accepting still serves it through its drain path. When every replica
+// rejects (stopped or full) the error sends the caller down its
+// co-located fallback.
+func (r *Router) dispatchHandoff(decodes []*Server) func(*handoff) error {
 	targets := make([]Backend, len(decodes))
 	for i, d := range decodes {
 		targets[i] = d
 	}
 	return func(h *handoff) error {
+		ranked, preferred := r.rankForRequest(targets, Request{
+			Prompt:    h.exp.Req.Prompt,
+			PromptLen: h.exp.Req.PromptLen,
+			OutputLen: h.exp.Req.OutputLen,
+		})
 		err := fmt.Errorf("serve: no decode replica accepted the handoff")
-		for _, b := range rankByLoad(targets) {
+		for _, b := range ranked {
 			if e := b.(*Server).acceptHandoff(h); e == nil {
+				r.noteDispatch(b, preferred)
 				return nil
 			} else {
 				err = e

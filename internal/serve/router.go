@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"zipserv/internal/kvcache"
 )
 
 // Backend is the serving surface the HTTP layer binds to: one live
@@ -49,6 +51,14 @@ type Router struct {
 	// clients actually observed.
 	submitted atomic.Int64
 	rejected  atomic.Int64
+
+	// Prefix-affinity dispatch (affinity.go; nil = least-loaded only).
+	// Hits count requests landing on the replica with the best estimated
+	// prefix overlap; spills count requests that wanted a replica but
+	// routed elsewhere (load band, free-block floor, or failover).
+	affinity       *AffinityConfig
+	affinityHits   atomic.Int64
+	affinitySpills atomic.Int64
 }
 
 var _ Backend = (*Router)(nil)
@@ -78,18 +88,22 @@ func (r *Router) Start() {
 	}
 }
 
-// Submit dispatches the request to the least-loaded replica, failing
-// over in load order. The returned error is the most retryable one
-// observed: a full queue (the caller should back off and retry) wins
-// over a stopped replica; ErrNeverFits is returned only when no
-// running replica could ever admit the request.
+// Submit dispatches the request to the least-loaded replica — or, with
+// EnableAffinity, to the in-band replica with the best estimated
+// prefix overlap (affinity.go) — failing over in ranking order. The
+// returned error is the most retryable one observed: a full queue (the
+// caller should back off and retry) wins over a stopped replica;
+// ErrNeverFits is returned only when no running replica could ever
+// admit the request.
 func (r *Router) Submit(req Request) (*Ticket, error) {
 	var queueFull, neverFits, lastErr error
 	for _, tier := range r.tiers() {
-		for _, b := range rankByLoad(tier) {
+		ranked, preferred := r.rankForRequest(tier, req)
+		for _, b := range ranked {
 			tk, err := b.Submit(req)
 			if err == nil {
 				r.submitted.Add(1)
+				r.noteDispatch(b, preferred)
 				return tk, nil
 			}
 			switch {
@@ -168,6 +182,11 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	agg := aggregateStats(per)
 	agg.Submitted = r.submitted.Load()
 	agg.Rejected = r.rejected.Load()
+	// Affinity outcomes are decided here, at the dispatching router —
+	// replicas always report 0 — but nested routers decide their own, so
+	// this level's counters add to the aggregate instead of replacing it.
+	agg.PrefixAffinityHits += r.affinityHits.Load()
+	agg.AffinitySpills += r.affinitySpills.Load()
 	return agg, per
 }
 
@@ -205,6 +224,7 @@ func aggregateStats(replicas []Stats) Stats {
 	var hitEWMA float64
 	adaptiveCaches := 0
 	var compOrigBytes float64
+	var summaries []*kvcache.PrefixSummary
 	for i, st := range replicas {
 		agg.Submitted += st.Submitted
 		agg.Rejected += st.Rejected
@@ -227,6 +247,19 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.PrefixTokensSaved += st.PrefixTokensSaved
 		agg.CachedKVBlocks += st.CachedKVBlocks
 		agg.SharedKVBlocks += st.SharedKVBlocks
+		// Affinity telemetry: counters sum (nested routers report their
+		// own dispatch outcomes; leaf replicas report 0), the trie
+		// digests merge below, and the fleet summary age is the oldest
+		// replica's — the staleness bound on any overlap estimate made
+		// from this aggregate.
+		agg.PrefixAffinityHits += st.PrefixAffinityHits
+		agg.AffinitySpills += st.AffinitySpills
+		if st.PrefixSummary != nil {
+			summaries = append(summaries, st.PrefixSummary)
+		}
+		if st.SummaryAgeSeconds > agg.SummaryAgeSeconds {
+			agg.SummaryAgeSeconds = st.SummaryAgeSeconds
+		}
 		// Compressed-cache counters sum like the capacity they describe;
 		// the fleet ratio is reconstructed below from per-replica
 		// original footprints (ratio × compressed bytes), so replicas
@@ -257,7 +290,12 @@ func aggregateStats(replicas []Stats) Stats {
 		// the sizing controller.
 		agg.AdaptiveChunking = agg.AdaptiveChunking || st.AdaptiveChunking
 		agg.AdaptivePrefixCache = agg.AdaptivePrefixCache || st.AdaptivePrefixCache
-		if i == 0 || st.ChunkBudgetMin < agg.ChunkBudgetMin {
+		// The fleet's tightest budget is the min over replicas that have
+		// one: a monolithic replica's 0 means "no per-iteration bound",
+		// not "bound of zero", so folding it in would report the loosest
+		// replica as the tightest. 0 survives only on an all-monolithic
+		// fleet.
+		if st.ChunkBudgetMin > 0 && (agg.ChunkBudgetMin == 0 || st.ChunkBudgetMin < agg.ChunkBudgetMin) {
 			agg.ChunkBudgetMin = st.ChunkBudgetMin
 		}
 		if st.ChunkBudgetMax > agg.ChunkBudgetMax {
@@ -314,6 +352,7 @@ func aggregateStats(replicas []Stats) Stats {
 	} else if agg.CompressedCacheEnabled {
 		agg.KVCompressionRatio = 1.0 // enabled fleet, nothing frozen yet
 	}
+	agg.PrefixSummary = kvcache.MergePrefixSummaries(summaries)
 	if agg.SimSeconds > 0 {
 		agg.Goodput = float64(agg.Completed) / agg.SimSeconds
 		agg.Throughput = float64(agg.OutputTokens) / agg.SimSeconds

@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"zipserv/internal/engine"
+	"zipserv/internal/kvcache"
 )
 
 // Submission errors.
@@ -353,6 +354,25 @@ type Stats struct {
 	PrefixTokensSaved  int64 `json:"prefix_tokens_saved"`
 	CachedKVBlocks     int   `json:"cached_kv_blocks"`
 	SharedKVBlocks     int   `json:"shared_kv_blocks"`
+
+	// Prefix-affinity routing telemetry (docs/routing.md). PrefixSummary
+	// is the replica's immutable prefix-trie digest (root fingerprints +
+	// a bloom filter over committed block paths), published on the
+	// admission-epoch cadence; a router merges the replicas' digests
+	// (roots unioned, equal-sized blooms OR'd). SummaryAgeSeconds is the
+	// virtual time since the digest last changed (max across a fleet —
+	// the staleness bound on the router's overlap estimates).
+	// PrefixAffinityHits counts submissions an affinity-enabled router
+	// dispatched to the replica with the best estimated prefix overlap;
+	// AffinitySpills counts submissions that had a preferred replica but
+	// were routed least-loaded instead because the preferred one sat
+	// outside the load band or under the free-block floor. Replicas
+	// always report 0 for both; routers sum nested routers' counts and
+	// add their own.
+	PrefixSummary      *kvcache.PrefixSummary `json:"prefix_summary,omitempty"`
+	SummaryAgeSeconds  float64                `json:"prefix_summary_age_seconds"`
+	PrefixAffinityHits int64                  `json:"prefix_affinity_hits"`
+	AffinitySpills     int64                  `json:"affinity_spills"`
 
 	// Compressed-cache metrics. CompressedCacheEnabled echoes the
 	// config; CompressedKVBlocks are cold blocks currently held in

@@ -46,6 +46,13 @@ type Server struct {
 	stats   Stats
 	recent  []time.Time // wall completion times within drainWindow
 
+	// Prefix-summary age tracking (scheduler goroutine only): the trie
+	// epoch of the last published digest and the virtual clock when it
+	// changed, so publish can report how stale the advertised summary
+	// is (Stats.SummaryAgeSeconds).
+	lastSummaryEpoch int64
+	lastSummaryClock float64
+
 	// Admission-loop scratch, reused across iterations so the hot loop
 	// builds its eligible views without allocating. Only the scheduler
 	// goroutine touches these (legacy linear path; custom policies).
@@ -1000,6 +1007,19 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		CacheHitRateEWMA:    sp.CacheHitRateEWMA(),
 		CachePressureEWMA:   sp.CachePressureEWMA(),
 	}
+	// Publish the prefix-trie digest on the admission-epoch cadence
+	// (publish runs right after AdaptEpoch closes the epoch). The digest
+	// is memoized per trie generation, so an unchanged trie republishes
+	// the same immutable pointer for free; its age is virtual time since
+	// the advertised content last changed.
+	if sum := sp.PrefixSummary(); sum != nil {
+		if sum.Epoch != s.lastSummaryEpoch {
+			s.lastSummaryEpoch = sum.Epoch
+			s.lastSummaryClock = sp.Clock()
+		}
+		st.PrefixSummary = sum
+		st.SummaryAgeSeconds = sp.Clock() - s.lastSummaryClock
+	}
 	if agg.completed > 0 {
 		st.MeanTTFT = agg.ttftSum / float64(agg.completed)
 		st.MeanTPOT = agg.tpotSum / float64(agg.completed)
@@ -1039,7 +1059,10 @@ func (s *Server) pruneRecentLocked(now time.Time) {
 }
 
 // failAll terminates every queued, handed-off and in-flight request
-// with err.
+// with err, and folds the failures it delivered into the published
+// snapshot — the loop is exiting, so no later publish will ever count
+// them, and without this a halted server would report failed=0 while
+// every caller holds an error.
 func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call, err error) {
 	s.gate.Lock()
 	if !s.stopped {
@@ -1047,6 +1070,13 @@ func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call
 		close(s.stop)
 	}
 	s.gate.Unlock()
+	var failed int64
+	fail := func(c *call) {
+		if !c.done.Load() {
+			failed++ // delivered here, not a duplicate someone else finished
+		}
+		c.finish(Result{Err: err})
+	}
 	for {
 		select {
 		case c := <-s.submitCh:
@@ -1055,17 +1085,20 @@ func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call
 			hos = append(hos, h)
 		default:
 			for _, c := range pending {
-				c.finish(Result{Err: err})
+				fail(c)
 			}
 			if s.core != nil {
-				s.core.drainAll(func(c *call) { c.finish(Result{Err: err}) })
+				s.core.drainAll(fail)
 			}
 			for _, h := range hos {
-				h.c.finish(Result{Err: err})
+				fail(h.c)
 			}
 			for _, c := range inflight {
-				c.finish(Result{Err: err})
+				fail(c)
 			}
+			s.statsMu.Lock()
+			s.stats.Failed += failed
+			s.statsMu.Unlock()
 			return
 		}
 	}

@@ -391,6 +391,24 @@ func NewLiveRouter(replicas ...LiveBackend) (*LiveRouter, error) {
 	return serve.NewRouter(replicas...)
 }
 
+// LiveAffinityConfig tunes a router's prefix-affinity dispatch
+// (LiveRouter.EnableAffinity): requests steer toward the replica whose
+// prefix-trie digest best overlaps their prompt tokens, spilling to
+// least-loaded outside a bounded load band. The zero value selects
+// defaults for every knob. See docs/routing.md.
+type LiveAffinityConfig = serve.AffinityConfig
+
+// LivePrefixSummary is the compact prefix-trie digest a replica
+// publishes in its stats (LiveStats.PrefixSummary) for affinity
+// routing: exact first-block fingerprints plus a bloom filter over the
+// deeper trie.
+type LivePrefixSummary = kvcache.PrefixSummary
+
+// LiveArrivalNow marks a LiveRequest as arriving at the scheduler's
+// current virtual clock — the natural arrival for interactively
+// submitted live traffic.
+const LiveArrivalNow = serve.ArrivalNow
+
 // LivePool assigns a replica to a disaggregated serving tier
 // (LiveConfig.Pool): "prefill" replicas run prompts to their first
 // token and hand the sequence off, "decode" replicas continue the
