@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"zipserv"
+)
+
+// chaosPlanText is the scripted failure scenario -compare-chaos drives:
+// one replica crashes mid-run on its own virtual clock, another limps
+// through the whole run at a 6x step-time dilation. Every trigger is a
+// pure function of replica-local virtual time, so replaying the plan
+// against the same workload reproduces the same failure schedule.
+const chaosPlanText = `seed 42
+slow replica=2 at=0 factor=6
+crash replica=1 at=0.5
+`
+
+// runCompareChaos replays one deterministic workload through a
+// 3-replica fleet under the scripted fault plan above, three times:
+// twice with health-aware routing on (breakers + resurrection, the
+// replay pair that must produce byte-identical outcome schedules) and
+// once with it off. Requests are all submitted before the fleet starts
+// — dispatch then depends only on deterministic queue depths, so each
+// replica's queue, and therefore the crash's victim set, is identical
+// on every replay.
+//
+// With requireWin it exits non-zero unless resilience-on completed the
+// whole request set with zero client-visible failures and at least one
+// resurrection, resilience-off lost requests to the same plan, and the
+// two resilience-on replays agree byte-for-byte — the CI chaos gate.
+// n (-requests) sizes the workload; -rate, -prompt, -out and -seed do
+// not apply.
+func runCompareChaos(modelName, device string, gpus int, backend string, n int, csvPath string, requireWin bool) error {
+	model, err := zipserv.ModelByName(modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := zipserv.GPUByName(device)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("invalid workload parameters")
+	}
+	plan, err := zipserv.ParseLiveFaultPlan(chaosPlanText)
+	if err != nil {
+		return err
+	}
+
+	const fleetSize = 3
+	reqs := make([]zipserv.LiveRequest, n)
+	for i := range reqs {
+		reqs[i] = zipserv.LiveRequest{
+			PromptLen: 256 + (i%4)*64,
+			OutputLen: 32 + (i%3)*16,
+		}
+	}
+
+	type outcome struct {
+		stats    zipserv.LiveStats
+		schedule string // index promptLen outputLen outcome resurrected, one line per request
+	}
+	runFleet := func(resilient bool) (outcome, error) {
+		var out outcome
+		backends := make([]zipserv.LiveBackend, fleetSize)
+		for i := range backends {
+			eng, err := zipserv.NewEngine(zipserv.ServingConfig{
+				Model: model, Device: dev, NumGPUs: gpus, Backend: zipserv.ServingBackend(backend),
+			})
+			if err != nil {
+				return out, err
+			}
+			srv, err := zipserv.NewLiveServer(zipserv.LiveConfig{
+				Engine: eng, QueueDepth: n, Faults: plan.Replica(i),
+			})
+			if err != nil {
+				return out, err
+			}
+			backends[i] = srv
+		}
+		router, err := zipserv.NewLiveRouter(backends...)
+		if err != nil {
+			return out, err
+		}
+		if resilient {
+			if err := router.EnableHealth(zipserv.LiveHealthConfig{RetryBudget: 3}); err != nil {
+				return out, err
+			}
+		}
+		// Submit everything before the fleet starts: with no scheduler
+		// running, the router's load ranking sees only deterministic
+		// queue depths, so every replay deals the same hands.
+		tickets := make([]*zipserv.LiveTicket, n)
+		for i := range reqs {
+			if tickets[i], err = router.Submit(reqs[i]); err != nil {
+				return out, err
+			}
+		}
+		router.Start()
+		var sched strings.Builder
+		for i, tk := range tickets {
+			res := <-tk.Result()
+			verdict := "ok"
+			if res.Err != nil {
+				verdict = "failed"
+			}
+			fmt.Fprintf(&sched, "%d %d %d %s %d\n",
+				i, reqs[i].PromptLen, reqs[i].OutputLen, verdict, res.Resurrected)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		// The crashed replica's Stop is immediate; the survivors drain.
+		if err := router.Stop(ctx); err != nil {
+			return out, err
+		}
+		out.stats = router.Stats()
+		out.schedule = sched.String()
+		return out, nil
+	}
+
+	resilientA, err := runFleet(true)
+	if err != nil {
+		return err
+	}
+	resilientB, err := runFleet(true)
+	if err != nil {
+		return err
+	}
+	fragile, err := runFleet(false)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("chaos drill: %d requests, %d replicas (%s on %dx %s, %s), plan:\n", n, fleetSize, modelName, gpus, device, backend)
+	for _, line := range strings.Split(strings.TrimSpace(chaosPlanText), "\n") {
+		fmt.Printf("    %s\n", line)
+	}
+	fmt.Printf("\n%-14s %10s %8s %6s %14s %10s %16s\n",
+		"routing", "completed", "failed", "lost", "resurrections", "ejections", "retry exhausted")
+	csv := newCSVTable("routing", "completed", "failed", "lost_requests",
+		"resurrections", "ejections", "retry_exhausted", "replay_identical")
+	replayIdentical := resilientA.schedule == resilientB.schedule
+	for _, r := range []struct {
+		mode string
+		out  outcome
+	}{{"resilient", resilientA}, {"fragile", fragile}} {
+		st := r.out.stats
+		fmt.Printf("%-14s %10d %8d %6d %14d %10d %16d\n",
+			r.mode, st.Completed, st.Failed, st.LostRequests, st.Resurrections, st.Ejections, st.RetryExhausted)
+		csv.add(r.mode, fmt.Sprintf("%d", st.Completed), fmt.Sprintf("%d", st.Failed),
+			fmt.Sprintf("%d", st.LostRequests), fmt.Sprintf("%d", st.Resurrections),
+			fmt.Sprintf("%d", st.Ejections), fmt.Sprintf("%d", st.RetryExhausted),
+			fmt.Sprintf("%t", replayIdentical))
+	}
+	on, off := resilientA.stats, fragile.stats
+	fmt.Printf("\nresilient fleet: %d/%d completed, %d resurrected; fragile fleet lost %d; replay identical: %t\n",
+		on.Completed, n, on.Resurrections, off.LostRequests, replayIdentical)
+	if err := csv.write(csvPath); err != nil {
+		return err
+	}
+
+	gate := newWinGate(requireWin)
+	gate.require(on.Completed == int64(n) && on.Failed == 0,
+		"resilient fleet completed %d/%d with %d failures; want everything, zero client-visible failures", on.Completed, n, on.Failed)
+	gate.require(on.Resurrections >= 1,
+		"resilient fleet resurrected %d requests; the crash must actually bite", on.Resurrections)
+	gate.require(off.LostRequests >= 1 && off.Failed >= 1,
+		"fragile fleet lost %d / failed %d; the plan must cost an unprotected fleet requests", off.LostRequests, off.Failed)
+	gate.require(on.Completed+off.Failed >= int64(n),
+		"fragile fleet completed %d and failed %d of %d", off.Completed, off.Failed, n)
+	gate.require(replayIdentical,
+		"two resilience-on replays diverged:\n--- first ---\n%s--- second ---\n%s", resilientA.schedule, resilientB.schedule)
+	return gate.result()
+}

@@ -71,6 +71,18 @@
 // must produce strictly more fleet prefix hits AND a TTFT p50 no worse
 // than least-loaded, with an identical completion set.
 //
+// With -compare-chaos it replays one deterministic workload through a
+// 3-replica fleet under a scripted fault plan (one replica crashes
+// mid-run, another runs 6x slow throughout) three times: twice with
+// health-aware routing enabled (breakers, retries and request
+// resurrection) and once without. All requests are submitted before
+// the fleet starts, so dispatch and the crash's victim set replay
+// identically; the two resilience-on runs must produce byte-identical
+// per-request outcome schedules. -require-chaos-win turns the drill
+// into a CI gate: resilience-on must complete the whole request set
+// with zero client-visible failures and at least one resurrection
+// while resilience-off loses requests to the same plan.
+//
 // Every compare mode shares -csv to export its table, and every
 // -require-*-win flag funnels through the same winGate helper.
 //
@@ -86,6 +98,7 @@
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-adaptive -target-step-time 30ms -require-adaptive-win
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-disagg -requests 48 -require-disagg-win
 //	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-affinity -requests 64 -require-affinity-win
+//	zipserv-serve -model LLaMA3.1-8B -device RTX4090 -compare-chaos -requests 64 -require-chaos-win
 package main
 
 import (
@@ -130,6 +143,10 @@ func main() {
 		"drive a multi-tenant shared-prefix burst workload through a 4-replica fleet with least-loaded and prefix-affinity routing and compare fleet prefix hits and TTFT")
 	requireAffinityWin := flag.Bool("require-affinity-win", false,
 		"compare-affinity: exit non-zero unless affinity routing gets strictly more fleet prefix hits and a TTFT p50 no worse than least-loaded (CI gate)")
+	compareChaos := flag.Bool("compare-chaos", false,
+		"replay one deterministic workload through a 3-replica fleet under a scripted fault plan with health-aware routing off and on, comparing losses")
+	requireChaosWin := flag.Bool("require-chaos-win", false,
+		"compare-chaos: exit non-zero unless resilience-on completes everything with >=1 resurrection, resilience-off loses requests, and replays are byte-identical (CI gate)")
 	compareAdaptive := flag.Bool("compare-adaptive", false,
 		"replay a mixed long-prompt + shared-prefix workload under each static chunk budget and the adaptive controllers, comparing decode TPOT")
 	requireAdaptiveWin := flag.Bool("require-adaptive-win", false,
@@ -144,6 +161,8 @@ func main() {
 
 	var err error
 	switch {
+	case *compareChaos:
+		err = runCompareChaos(*model, *device, *gpus, *backend, *requests, *csvPath, *requireChaosWin)
 	case *compareAffinity:
 		err = runCompareAffinity(*model, *device, *gpus, *backend, *requests, *prompt, *csvPath, *requireAffinityWin)
 	case *compareDisagg:

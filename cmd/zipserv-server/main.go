@@ -14,6 +14,8 @@
 //	zipserv-server -prefill-chunk 256 -admit-window 5ms -time-scale 1
 //	zipserv-server -prefix-cache -prefix-cache-blocks 4096
 //	zipserv-server -replicas 4 -prefix-cache -affinity -affinity-load-band 8    # cache-aware routing
+//	zipserv-server -replicas 4 -health -retry-budget 3                          # breakers + resurrection
+//	zipserv-server -replicas 2 -health -fault-plan chaos.plan                   # scripted chaos drill
 //	zipserv-server -adaptive-chunk -target-step-time 30ms -prefix-cache -adaptive-prefix-cache
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/simulate -d '{"model":"LLaMA3.1-8B","device":"RTX4090","backend":"zipserv","batch":32,"prompt":128,"output":512}'
@@ -35,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -81,6 +84,14 @@ func main() {
 			"(needs -prefix-cache and token-array prompts; spills to least-loaded outside the load band)")
 	affinityLoadBand := flag.Int("affinity-load-band", 0,
 		"affinity spill bound: how many queued+active requests past the least-loaded replica the cache-preferred one may hold and still win (0 = default 8)")
+	health := flag.Bool("health", false,
+		"health-aware routing: per-replica breakers eject failing replicas from dispatch, half-open probes re-admit them, "+
+			"and requests lost to replica deaths resurrect on the survivors (needs -replicas > 1 or disaggregated -pool roles)")
+	retryBudget := flag.Int("retry-budget", 0,
+		"resurrection retry budget: how many replica deaths one request may survive before failing to the client (0 = default 3; needs -health)")
+	faultPlanPath := flag.String("fault-plan", "",
+		"path to a deterministic fault-injection plan (docs/robustness.md DSL: crash/hang/slow/codecfail/drophandoff/stalestats "+
+			"directives addressed to replicas by index, triggered on each replica's virtual clock)")
 	pool := flag.String("pool", "",
 		"disaggregation pool roles, comma-separated per replica in order (prefill, decode, mixed); "+
 			"one value applies to every replica; any prefill/decode role routes prompts prefill→decode with compressed KV handoff")
@@ -117,6 +128,24 @@ func main() {
 		}
 	}
 
+	// A scripted fault plan is parsed up front and projected per
+	// replica: each server consults only the directives addressed to
+	// its own fleet index.
+	var plan *serve.FaultPlan
+	if *faultPlanPath != "" {
+		text, err := os.ReadFile(*faultPlanPath)
+		if err != nil {
+			log.Fatalf("zipserv-server: -fault-plan: %v", err)
+		}
+		plan, err = serve.ParseFaultPlan(string(text))
+		if err != nil {
+			log.Fatalf("zipserv-server: -fault-plan %s: %v", *faultPlanPath, err)
+		}
+		if max := plan.MaxReplica(); max >= *replicas {
+			log.Fatalf("zipserv-server: -fault-plan addresses replica %d, fleet has %d", max, *replicas)
+		}
+	}
+
 	// Each replica gets its own engine (its own KV plan and virtual
 	// clock), modelling one GPU/node; the router shards across them.
 	servers := make([]*serve.Server, *replicas)
@@ -139,6 +168,7 @@ func main() {
 			AdaptivePrefixCache: *adaptivePrefixCache,
 			CompressedCache:     *compressedCache,
 			Pool:                pools[i],
+			Faults:              plan.Replica(i),
 		})
 		if err != nil {
 			log.Fatalf("zipserv-server: %v", err)
@@ -153,6 +183,12 @@ func main() {
 	}
 	if *affinityLoadBand < 0 || (*affinityLoadBand > 0 && !*affinity) {
 		log.Fatalf("zipserv-server: -affinity-load-band needs -affinity and a non-negative value, got %d", *affinityLoadBand)
+	}
+	if *health && !pooled && *replicas == 1 {
+		log.Fatalf("zipserv-server: -health needs -replicas > 1 or disaggregated -pool roles (one replica leaves nowhere to route around a failure)")
+	}
+	if *retryBudget < 0 || (*retryBudget > 0 && !*health) {
+		log.Fatalf("zipserv-server: -retry-budget needs -health and a non-negative value, got %d", *retryBudget)
 	}
 	var live serve.Backend = servers[0]
 	var router *serve.Router
@@ -176,6 +212,11 @@ func main() {
 	}
 	if *affinity {
 		if err := router.EnableAffinity(serve.AffinityConfig{LoadBand: *affinityLoadBand}); err != nil {
+			log.Fatalf("zipserv-server: %v", err)
+		}
+	}
+	if *health {
+		if err := router.EnableHealth(serve.HealthConfig{RetryBudget: *retryBudget}); err != nil {
 			log.Fatalf("zipserv-server: %v", err)
 		}
 	}
@@ -223,6 +264,12 @@ func main() {
 	}
 	if *affinity {
 		poolDesc += ", prefix-affinity routing"
+	}
+	if *health {
+		poolDesc += ", health-aware routing"
+	}
+	if plan != nil {
+		poolDesc += fmt.Sprintf(", fault plan %s (%d events)", *faultPlanPath, len(plan.Events))
 	}
 	log.Printf("zipserv-server listening on %s (live: %d× [%s on %dx %s], %s backend, %s policy, %s, %s%s)",
 		*addr, *replicas, *modelName, *gpus, *device, *backend, *policyName, chunkDesc, cacheDesc, poolDesc)

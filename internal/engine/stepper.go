@@ -64,6 +64,15 @@ type Stepper struct {
 	// decoding, instead of growing toward the ceiling; see adaptive.go.
 	DecodeFree bool
 
+	// TimeDilation, when set, multiplies every iteration's virtual
+	// elapsed time by its return value, evaluated at the iteration's
+	// start clock. The fault-injection layer (serve fault plans,
+	// docs/robustness.md) uses it to script step-time slowdowns as a
+	// pure function of virtual time, so slow-replica chaos runs replay
+	// bit-identically. Must return a finite value >= some positive
+	// epsilon; 1 means full speed.
+	TimeDilation func(now float64) float64
+
 	e   *Engine
 	mgr *kvcache.Manager
 
@@ -290,6 +299,19 @@ func (s *Stepper) KVCompressionRatio() float64 { return s.mgr.CompressionRatio()
 // DecompressClaims returns the lifetime count of frozen blocks
 // restored into physical blocks by prefix claims.
 func (s *Stepper) DecompressClaims() int64 { return s.mgr.DecompressClaims() }
+
+// SetCodecFault installs a KV-codec fault predicate on the cache
+// manager: while it returns true, cold prefix blocks degrade to plain
+// physical parking instead of freezing compressed (the graceful path —
+// capacity is lost, correctness is not). The fault-injection layer
+// drives it from a fault plan evaluated on virtual time; each degraded
+// freeze counts into CodecFallbacks.
+func (s *Stepper) SetCodecFault(fn func() bool) { s.mgr.SetCodecFault(fn) }
+
+// CodecFallbacks returns the lifetime count of cold-block freezes that
+// degraded to plain parking because the KV codec failed (injected or
+// real).
+func (s *Stepper) CodecFallbacks() int64 { return s.mgr.CodecFallbacks() }
 
 // EnableAdaptivePrefixCache replaces the static cached-pool bound with
 // the closed-loop sizing controller in internal/kvcache: the pool
@@ -695,6 +717,9 @@ func (s *Stepper) Prefill() ([]RequestMetrics, float64) {
 		elapsed += s.e.KVDecompressTime(s.pendingDecompress)
 		s.pendingDecompress = 0
 	}
+	if s.TimeDilation != nil {
+		elapsed *= s.TimeDilation(s.now)
+	}
 	s.now += elapsed
 	s.prefillIters++
 	s.lastPrefillElapsed += elapsed
@@ -741,6 +766,9 @@ func (s *Stepper) DecodeStep() ([]RequestMetrics, float64, error) {
 		sumCtx += q.ctx
 	}
 	elapsed := s.e.BatchDecodeStepTime(b, sumCtx)
+	if s.TimeDilation != nil {
+		elapsed *= s.TimeDilation(s.now)
+	}
 	s.now += elapsed
 	s.decodeSteps++
 	if s.lastDecodeEnd >= 0 {

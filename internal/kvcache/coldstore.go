@@ -95,6 +95,17 @@ func (m *Manager) DecompressClaims() int64 { return m.decompClaims }
 // prefix claims.
 func (m *Manager) DecompressedBytes() int64 { return m.decompBytes }
 
+// SetCodecFault installs a codec fault predicate: while it returns
+// true, freeze skips compression and reports failure so the caller
+// parks the block physically — the graceful-degradation path the
+// fault-injection layer scripts (docs/robustness.md). Content already
+// frozen stays thawable; only new freezes degrade.
+func (m *Manager) SetCodecFault(fn func() bool) { m.codecFault = fn }
+
+// CodecFallbacks returns the lifetime count of freezes that degraded
+// to plain parking — injected faults and real codec rejections alike.
+func (m *Manager) CodecFallbacks() int64 { return m.codecFallbacks }
+
 // freeze compresses a refcount-zero advertised block's content and
 // detaches the physical block, leaving the trie node advertising the
 // content from the compressed store. Returns false — the caller then
@@ -102,11 +113,16 @@ func (m *Manager) DecompressedBytes() int64 { return m.decompBytes }
 // codec rejects the content (unreachable for the synthesized tensors,
 // but the cache must degrade rather than lose content).
 func (m *Manager) freeze(b int, node *prefixNode) bool {
+	if m.codecFault != nil && m.codecFault() {
+		m.codecFallbacks++
+		return false
+	}
 	kv := blockContent(node.key, m.cfg.BlockTokens)
 	m.frozenSeq++
 	id := m.frozenSeq
 	if err := m.compStore.Put(id, kv); err != nil {
 		m.frozenSeq--
+		m.codecFallbacks++
 		return false
 	}
 	delete(m.prefix.byBlock, b)

@@ -74,6 +74,13 @@ type Manager struct {
 	frozenSeq    int   // next compressed-store key (ids start at 1)
 	decompClaims int64 // frozen blocks restored by prefix claims
 	decompBytes  int64 // logical bytes decompressed by those claims
+
+	// Codec fault injection (see SetCodecFault): while codecFault
+	// returns true, freeze degrades to plain physical parking; each
+	// degraded freeze counts into codecFallbacks (as does a real codec
+	// rejection).
+	codecFault     func() bool
+	codecFallbacks int64
 }
 
 // NewManager builds a manager with all blocks free.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"zipserv/internal/engine"
@@ -44,6 +45,14 @@ type AffinityConfig struct {
 	// idle operating point, meaning a loop with prefill headroom to
 	// spare — before free blocks. Default engine.DefaultAdaptiveChunkMax.
 	LongPromptTokens int
+	// MaxSummaryAge bounds how stale (virtual seconds since last
+	// change) a replica's prefix digest may be and still steer
+	// dispatch. Past it the digest is ignored — the candidate scores
+	// zero overlap and competes least-loaded — and the dispatch counts
+	// in Stats.StaleDigestRoutes: the graceful-degradation path for a
+	// replica publishing frozen stats (docs/robustness.md). 0
+	// (default) trusts digests of any age.
+	MaxSummaryAge float64
 }
 
 func (cfg *AffinityConfig) defaults() {
@@ -75,6 +84,9 @@ func (r *Router) EnableAffinity(cfg AffinityConfig) error {
 	}
 	if cfg.LongPromptTokens < 0 {
 		return fmt.Errorf("serve: affinity LongPromptTokens must be >= 0, got %d", cfg.LongPromptTokens)
+	}
+	if math.IsNaN(cfg.MaxSummaryAge) || math.IsInf(cfg.MaxSummaryAge, 0) || cfg.MaxSummaryAge < 0 {
+		return fmt.Errorf("serve: affinity MaxSummaryAge must be finite and >= 0, got %v", cfg.MaxSummaryAge)
 	}
 	cfg.defaults()
 	r.affinity = &cfg
@@ -118,6 +130,7 @@ func (r *Router) rankForRequest(tier []Backend, req Request) (ranked []Backend, 
 
 	cands := make([]affinityCandidate, 0, len(tier))
 	hashed := make(map[int]kvcache.HashedPrompt, 1) // per block granularity
+	staleSeen := false
 	minLoad := -1
 	for i, b := range tier {
 		st := b.Stats()
@@ -131,18 +144,29 @@ func (r *Router) rankForRequest(tier []Backend, req Request) (ranked []Backend, 
 			idle: st.AdaptiveChunking && st.ChunkBudgetMax > 0 && st.ChunkBudget >= st.ChunkBudgetMax,
 		}
 		if s := st.PrefixSummary; s != nil {
-			hp, ok := hashed[s.BlockTokens]
-			if !ok {
-				hp = kvcache.HashPromptTokens(req.Prompt, s.BlockTokens)
-				hashed[s.BlockTokens] = hp
+			if cfg.MaxSummaryAge > 0 && st.SummaryAgeSeconds > cfg.MaxSummaryAge {
+				// The digest outlived its trust bound (a stalled or
+				// stale-stats replica): ignore it rather than steer
+				// shared-prefix traffic onto content that may be gone.
+				// The candidate still competes least-loaded.
+				staleSeen = true
+			} else {
+				hp, ok := hashed[s.BlockTokens]
+				if !ok {
+					hp = kvcache.HashPromptTokens(req.Prompt, s.BlockTokens)
+					hashed[s.BlockTokens] = hp
+				}
+				c.overlap = s.MatchTokens(hp)
+				c.blockTokens = s.BlockTokens
 			}
-			c.overlap = s.MatchTokens(hp)
-			c.blockTokens = s.BlockTokens
 		}
 		if minLoad < 0 || c.load < minLoad {
 			minLoad = c.load
 		}
 		cands = append(cands, c)
+	}
+	if staleSeen {
+		r.staleDigest.Add(1)
 	}
 
 	// The replica the request wants: best overlap, band or no band.

@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	plan, err := ParseFaultPlan(`
+# a fleet-wide chaos scenario
+seed 42
+crash replica=1 at=0.5
+slow replica=0 at=0 factor=8 for=2.5
+hang replica=2 at=1            # trailing comment
+codecfail replica=1 at=2
+drophandoff replica=0 at=1.5
+stalestats replica=1 at=1 for=2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &FaultPlan{Seed: 42, Events: []FaultEvent{
+		{Kind: FaultCrash, Replica: 1, At: 0.5},
+		{Kind: FaultSlow, Replica: 0, At: 0, Factor: 8, For: 2.5},
+		{Kind: FaultHang, Replica: 2, At: 1},
+		{Kind: FaultCodecFail, Replica: 1, At: 2},
+		{Kind: FaultDropHandoff, Replica: 0, At: 1.5},
+		{Kind: FaultStaleStats, Replica: 1, At: 1, For: 2},
+	}}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("parsed plan\n%+v\nwant\n%+v", plan, want)
+	}
+	if got := plan.MaxReplica(); got != 2 {
+		t.Errorf("MaxReplica = %d, want 2", got)
+	}
+}
+
+func TestParseFaultPlanErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown kind", "explode replica=0 at=1"},
+		{"unknown key", "crash replica=0 at=1 when=2"},
+		{"missing replica", "crash at=1"},
+		{"negative replica", "crash replica=-1 at=1"},
+		{"duplicate key", "crash replica=0 replica=1"},
+		{"duplicate seed", "seed 1\nseed 2"},
+		{"bad seed", "seed forty-two"},
+		{"seed arity", "seed 1 2"},
+		{"bare word", "crash replica"},
+		{"bad at", "crash replica=0 at=never"},
+		{"negative at", "crash replica=0 at=-1"},
+		{"infinite at", "crash replica=0 at=+Inf"},
+		{"nan at", "crash replica=0 at=NaN"},
+		{"factor on crash", "crash replica=0 at=1 factor=2"},
+		{"zero factor", "slow replica=0 at=1 factor=0"},
+		{"negative factor", "slow replica=0 at=1 factor=-2"},
+		{"missing factor", "slow replica=0 at=1"},
+		{"for on crash", "crash replica=0 at=1 for=2"},
+		{"for on drophandoff", "drophandoff replica=0 at=1 for=2"},
+		{"negative for", "stalestats replica=0 at=1 for=-2"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseFaultPlan(tc.text); err == nil {
+			t.Errorf("%s: %q accepted, want error", tc.name, tc.text)
+		}
+	}
+}
+
+func TestFaultPlanStringRoundTrip(t *testing.T) {
+	const text = "seed 7\nslow replica=0 at=0.125 factor=3 for=1.5\ncrash replica=1 at=2\n"
+	plan, err := ParseFaultPlan(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.String(); got != text {
+		t.Errorf("String() = %q, want canonical %q", got, text)
+	}
+	again, err := ParseFaultPlan(plan.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Errorf("round trip drifted:\n%+v\nvs\n%+v", plan, again)
+	}
+}
+
+func TestRandomFaultPlanDeterministic(t *testing.T) {
+	a := RandomFaultPlan(99, 8, 4)
+	b := RandomFaultPlan(99, 8, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same (seed, n, horizon) produced different plans")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("8-replica random plan scripted no faults")
+	}
+	if a.MaxReplica() >= 8 {
+		t.Errorf("event addresses replica %d, fleet has 8", a.MaxReplica())
+	}
+	c := RandomFaultPlan(100, 8, 4)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical plans")
+	}
+	// The generated plan must survive its own serialisation.
+	back, err := ParseFaultPlan(a.String())
+	if err != nil {
+		t.Fatalf("generated plan does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Error("generated plan does not round-trip")
+	}
+	if got := RandomFaultPlan(99, 0, 4); len(got.Events) != 0 {
+		t.Error("zero-replica plan has events")
+	}
+}
+
+func TestReplicaFaultsProjection(t *testing.T) {
+	plan, err := ParseFaultPlan(`
+slow replica=0 at=1 factor=2 for=2
+slow replica=0 at=2 factor=3 for=2
+codecfail replica=0 at=5 for=1
+stalestats replica=0 at=7
+drophandoff replica=0 at=3
+drophandoff replica=0 at=4
+crash replica=1 at=9
+hang replica=2 at=6
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := plan.Replica(0)
+	if f == nil {
+		t.Fatal("replica 0 has events but projected nil")
+	}
+	if plan.Replica(3) != nil {
+		t.Error("replica 3 has no events but projected non-nil")
+	}
+	if f.crashedAt(1e9) || f.hungAt(1e9) {
+		t.Error("replica 0 crashes or hangs without a directive")
+	}
+
+	// Overlapping slow windows multiply; outside every window the
+	// factor is 1.
+	for _, tc := range []struct {
+		now, want float64
+	}{{0, 1}, {1, 2}, {2, 6}, {2.9, 6}, {3, 3}, {3.9, 3}, {4, 1}} {
+		if got := f.slowFactorAt(tc.now); got != tc.want {
+			t.Errorf("slowFactorAt(%v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+
+	// Bounded codec window [5, 6); unbounded stale window from 7.
+	if f.codecFailingAt(4.9) || !f.codecFailingAt(5) || f.codecFailingAt(6) {
+		t.Error("codec window [5,6) misevaluated")
+	}
+	if f.statsStaleAt(6.9) || !f.statsStaleAt(7) || !f.statsStaleAt(1e9) {
+		t.Error("unbounded stale window misevaluated")
+	}
+
+	// Drops are one-shot, in time order.
+	if f.takeDrop(2.9) {
+		t.Error("drop taken before its trigger time")
+	}
+	if !f.takeDrop(3.5) {
+		t.Error("first due drop not taken")
+	}
+	if f.takeDrop(3.5) {
+		t.Error("second drop (due at 4) taken at 3.5")
+	}
+	if !f.takeDrop(4) {
+		t.Error("second drop not taken at its trigger")
+	}
+	if f.takeDrop(1e9) {
+		t.Error("exhausted drops still firing")
+	}
+
+	if c1 := plan.Replica(1); !c1.crashedAt(9) || c1.crashedAt(8.9) {
+		t.Error("crash trigger misevaluated")
+	}
+	if c2 := plan.Replica(2); !c2.hungAt(6) || c2.hungAt(5.9) {
+		t.Error("hang trigger misevaluated")
+	}
+
+	// Nil-safety: every query must work on a fault-free replica.
+	var none *ReplicaFaults
+	if none.active() || none.crashedAt(0) || none.hungAt(0) ||
+		none.codecFailingAt(0) || none.statsStaleAt(0) || none.takeDrop(0) {
+		t.Error("nil ReplicaFaults reports faults")
+	}
+	if got := none.slowFactorAt(0); got != 1 {
+		t.Errorf("nil slowFactorAt = %v, want 1", got)
+	}
+	if math.IsInf(f.crashAt, 1) != true {
+		t.Error("unscripted crashAt not +Inf")
+	}
+}
+
+// FuzzFaultPlan pins the parser's total behaviour: any input either
+// errors or yields a plan whose canonical String re-parses to an
+// identical plan (and a fixed-point string). CI runs a short smoke,
+// the nightly job digs deeper.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("seed 42\ncrash replica=1 at=0.5\nslow replica=0 at=0 factor=8 for=2.5\n")
+	f.Add("hang replica=2 at=1\ncodecfail replica=1 at=2 for=3\n")
+	f.Add("drophandoff replica=0 at=1.5\nstalestats replica=1 at=1 for=2\n")
+	f.Add("# only a comment\n\nseed -9000\n")
+	f.Add("slow replica=3 at=1e-3 factor=1.0000001\n")
+	f.Add(RandomFaultPlan(1, 16, 10).String())
+	f.Fuzz(func(t *testing.T, text string) {
+		plan, err := ParseFaultPlan(text)
+		if err != nil {
+			if plan != nil {
+				t.Fatal("error with non-nil plan")
+			}
+			return
+		}
+		canon := plan.String()
+		again, err := ParseFaultPlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if !reflect.DeepEqual(plan, again) {
+			t.Fatalf("round trip drifted for %q:\n%+v\nvs\n%+v", text, plan, again)
+		}
+		if canon2 := again.String(); canon2 != canon {
+			t.Fatalf("String not a fixed point: %q then %q", canon, canon2)
+		}
+		// Projection must never panic, whatever the plan says.
+		for i := -1; i <= plan.MaxReplica(); i++ {
+			rf := plan.Replica(i)
+			for _, now := range []float64{0, 0.5, math.Inf(1)} {
+				rf.crashedAt(now)
+				rf.hungAt(now)
+				rf.slowFactorAt(now)
+				rf.codecFailingAt(now)
+				rf.statsStaleAt(now)
+			}
+		}
+		_ = strings.Count(canon, "\n")
+	})
+}

@@ -106,7 +106,11 @@ func (r *Router) dispatchHandoff(decodes []*Server) func(*handoff) error {
 		targets[i] = d
 	}
 	return func(h *handoff) error {
-		ranked, preferred := r.rankForRequest(targets, Request{
+		// Health-aware: ejected decode replicas drop out of the handoff
+		// candidate set (they will lose the sequence again); breaker
+		// state advances on each accept/refusal so a dead decode replica
+		// ejects even when it sees only handoff traffic.
+		ranked, preferred := r.rankForRequest(r.liveCandidates(targets), Request{
 			Prompt:    h.exp.Req.Prompt,
 			PromptLen: h.exp.Req.PromptLen,
 			OutputLen: h.exp.Req.OutputLen,
@@ -114,9 +118,11 @@ func (r *Router) dispatchHandoff(decodes []*Server) func(*handoff) error {
 		err := fmt.Errorf("serve: no decode replica accepted the handoff")
 		for _, b := range ranked {
 			if e := b.(*Server).acceptHandoff(h); e == nil {
+				r.noteSubmitOK(b)
 				r.noteDispatch(b, preferred)
 				return nil
 			} else {
+				r.noteSubmitErr(b, e)
 				err = e
 			}
 		}

@@ -59,6 +59,22 @@ type Router struct {
 	affinity       *AffinityConfig
 	affinityHits   atomic.Int64
 	affinitySpills atomic.Int64
+	// staleDigest counts dispatches where at least one candidate's
+	// prefix digest was older than the affinity MaxSummaryAge bound and
+	// was ignored — affinity degraded to least-loaded for it.
+	staleDigest atomic.Int64
+
+	// Health-aware routing (health.go; nil = every replica always
+	// eligible). healthMap is assembled once by EnableHealth and
+	// read-only afterwards; per-replica state lives behind each entry's
+	// own mutex.
+	health         *HealthConfig
+	healthMap      map[Backend]*replicaHealth
+	ejections      atomic.Int64
+	healthProbes   atomic.Int64
+	reinstatements atomic.Int64
+	resurrections  atomic.Int64
+	retryExhausted atomic.Int64
 }
 
 var _ Backend = (*Router)(nil)
@@ -98,14 +114,21 @@ func (r *Router) Start() {
 func (r *Router) Submit(req Request) (*Ticket, error) {
 	var queueFull, neverFits, lastErr error
 	for _, tier := range r.tiers() {
-		ranked, preferred := r.rankForRequest(tier, req)
-		for _, b := range ranked {
+		ranked, preferred, probes := r.healthRank(tier, req)
+		for i, b := range ranked {
 			tk, err := b.Submit(req)
 			if err == nil {
+				// Any due probe this dispatch never reached stays due:
+				// release its trial flag before returning.
+				for j := i + 1; j < len(probes); j++ {
+					r.releaseProbe(probes[j])
+				}
 				r.submitted.Add(1)
 				r.noteDispatch(b, preferred)
+				r.noteSubmitOK(b)
 				return tk, nil
 			}
+			r.noteSubmitErr(b, err)
 			switch {
 			case errors.Is(err, ErrQueueFull):
 				queueFull = err
@@ -116,12 +139,19 @@ func (r *Router) Submit(req Request) (*Ticket, error) {
 			}
 		}
 	}
+	// Every failure return below is a client-visible submit failure the
+	// fleet's per-replica counters cannot see (failover probes bump the
+	// replicas' own rejected counts even when a request lands), so each
+	// one counts here — not just the queue-full fast path.
+	r.rejected.Add(1)
 	if queueFull != nil {
-		r.rejected.Add(1)
 		return nil, queueFull
 	}
 	if neverFits != nil {
 		return nil, neverFits
+	}
+	if lastErr == nil {
+		lastErr = ErrStopped // empty dispatch tiers: nothing was tried
 	}
 	return nil, lastErr
 }
@@ -187,15 +217,47 @@ func (r *Router) Snapshot() (Stats, []Stats) {
 	// this level's counters add to the aggregate instead of replacing it.
 	agg.PrefixAffinityHits += r.affinityHits.Load()
 	agg.AffinitySpills += r.affinitySpills.Load()
+	agg.StaleDigestRoutes += r.staleDigest.Load()
+	if r.health != nil {
+		// Health outcomes follow the same rule: this router's breaker
+		// counters and census add to whatever nested health routers
+		// already reported. Resurrections abandoned at this router
+		// (budget exhausted, nowhere to go) were delivered as failures
+		// here, so they fold into the fleet's Failed — no replica's own
+		// snapshot ever counted them.
+		agg.HealthEnabled = true
+		agg.Ejections += r.ejections.Load()
+		agg.HealthProbes += r.healthProbes.Load()
+		agg.Reinstatements += r.reinstatements.Load()
+		agg.Resurrections += r.resurrections.Load()
+		exhausted := r.retryExhausted.Load()
+		agg.RetryExhausted += exhausted
+		agg.Failed += exhausted
+		for i := range r.replicas {
+			switch HealthState(per[i].HealthState) {
+			case HealthDegraded:
+				agg.ReplicasDegraded++
+			case HealthEjected, HealthProbing:
+				agg.ReplicasEjected++
+			default:
+				agg.ReplicasHealthy++
+			}
+		}
+	}
 	return agg, per
 }
 
 // ReplicaStats snapshots every replica, in router order — the
-// per-replica breakdown behind a routed /v1/stats.
+// per-replica breakdown behind a routed /v1/stats. With health-aware
+// routing on, each snapshot is annotated with the replica's current
+// breaker state.
 func (r *Router) ReplicaStats() []Stats {
 	out := make([]Stats, len(r.replicas))
 	for i, b := range r.replicas {
 		out[i] = b.Stats()
+		if r.health != nil {
+			out[i].HealthState = string(r.healthStateOf(b, &out[i]))
+		}
 	}
 	return out
 }
@@ -273,6 +335,25 @@ func aggregateStats(replicas []Stats) Stats {
 		agg.HandoffBytes += st.HandoffBytes
 		agg.HandoffFailures += st.HandoffFailures
 		agg.HandoffImports += st.HandoffImports
+		// Robustness and health telemetry: counters sum (a dispatching
+		// router adds its own breaker/retry outcomes in Snapshot, like
+		// affinity; nested routers' aggregates fold through here), the
+		// enablement flag ORs, and the census sums nested fleets'
+		// counts. HealthState is a per-replica annotation and never
+		// aggregates.
+		agg.LostRequests += st.LostRequests
+		agg.HandoffDrops += st.HandoffDrops
+		agg.CodecFallbacks += st.CodecFallbacks
+		agg.HealthEnabled = agg.HealthEnabled || st.HealthEnabled
+		agg.ReplicasHealthy += st.ReplicasHealthy
+		agg.ReplicasDegraded += st.ReplicasDegraded
+		agg.ReplicasEjected += st.ReplicasEjected
+		agg.Ejections += st.Ejections
+		agg.HealthProbes += st.HealthProbes
+		agg.Reinstatements += st.Reinstatements
+		agg.Resurrections += st.Resurrections
+		agg.RetryExhausted += st.RetryExhausted
+		agg.StaleDigestRoutes += st.StaleDigestRoutes
 		// Worst-replica cadence stall and the largest configured budget
 		// (fleets are normally homogeneous; max is the honest summary
 		// when they are not).

@@ -53,6 +53,7 @@ package serve
 import (
 	"errors"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +71,10 @@ var (
 	// ErrNeverFits means the request's KV reservation exceeds the
 	// device plan and could never be admitted (HTTP 422).
 	ErrNeverFits = errors.New("serve: request can never fit in KV memory")
+	// ErrRetriesExhausted means a request lost to replica failures was
+	// resurrected up to the health router's retry budget and failed
+	// every time (HTTP 503; see docs/robustness.md).
+	ErrRetriesExhausted = errors.New("serve: retry budget exhausted")
 )
 
 // ArrivalNow marks a Request as arriving at the scheduler's current
@@ -218,6 +223,13 @@ type Config struct {
 	// controller at its decode-free operating point. A PoolDecode
 	// replica accepts those handoffs and continues the decodes.
 	Pool PoolRole
+	// Faults attaches this replica's slice of a deterministic fault
+	// plan (docs/robustness.md): scripted crash/hang/slowdown/codec/
+	// handoff-drop/stale-stats events evaluated on the replica's own
+	// virtual clock, so chaos runs replay bit-identically. Nil (the
+	// default) injects nothing. A ReplicaFaults must not be shared
+	// between servers; project one per replica with FaultPlan.Replica.
+	Faults *ReplicaFaults
 }
 
 // EventType tags a streaming event.
@@ -260,6 +272,10 @@ type Result struct {
 	// CachedTokens is how many prompt tokens the prefix cache served
 	// by reference (skipped prefill work) on the final admission.
 	CachedTokens int `json:"cached_tokens,omitempty"`
+	// Resurrected counts how many times a health-aware router
+	// resubmitted this request to another replica after the one holding
+	// it failed (0 on the undisturbed path; see docs/robustness.md).
+	Resurrected int `json:"resurrected,omitempty"`
 
 	// Virtual timestamps (seconds on the scheduler clock). Admitted is
 	// the last admission when the request was preempted in between.
@@ -284,7 +300,10 @@ type Result struct {
 // clock, rate and latency aggregates recomputed fleet-wide).
 type Stats struct {
 	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"` // queue-full fast failures
+	// Rejected counts client-visible submit failures: queue-full fast
+	// failures and, on a router, submissions every replica refused
+	// (all stopped, or a request that can never fit).
+	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Preempted int64 `json:"preempted"` // policy evictions (requeued, not failed)
@@ -316,6 +335,48 @@ type Stats struct {
 	HandoffBytes    int64  `json:"handoff_bytes"`
 	HandoffFailures int64  `json:"handoff_failures"`
 	HandoffImports  int64  `json:"handoff_imports"`
+
+	// Robustness metrics (docs/robustness.md). LostRequests counts
+	// requests this replica held (queued or in-flight) when it crashed,
+	// hung, or dropped their handoff in transfer — each was either
+	// resurrected elsewhere by a health-aware router or failed to the
+	// client. HandoffDrops counts handoff transfers that vanished on
+	// the wire (injected by fault plans). CodecFallbacks counts cold
+	// prefix-cache blocks that degraded to plain physical parking
+	// because the KV codec failed — the graceful-degradation path for
+	// codec faults. A router sums all three.
+	LostRequests   int64 `json:"lost_requests"`
+	HandoffDrops   int64 `json:"handoff_drops"`
+	CodecFallbacks int64 `json:"codec_fallbacks"`
+
+	// Health-aware routing telemetry (router-owned; see
+	// docs/robustness.md). HealthEnabled reports whether the router
+	// runs the per-replica health state machine; HealthState annotates
+	// a per-replica snapshot with that replica's current state
+	// ("healthy", "degraded", "ejected", "probing" — empty on
+	// aggregates and on plain replicas). ReplicasHealthy/Degraded/
+	// Ejected census the fleet at snapshot time. Ejections counts
+	// breaker trips (replica removed from ranking), HealthProbes the
+	// half-open trial submissions sent to ejected replicas, and
+	// Reinstatements the probes that brought one back. Resurrections
+	// counts lost requests resubmitted to another replica;
+	// RetryExhausted the resurrections abandoned after the retry
+	// budget (client-visible failures, also folded into Failed).
+	// StaleDigestRoutes counts dispatches where a replica's prefix
+	// digest was too stale to trust and affinity degraded to
+	// least-loaded for that candidate. Nested routers report their own
+	// counters; a parent sums them.
+	HealthEnabled     bool   `json:"health_enabled,omitempty"`
+	HealthState       string `json:"health_state,omitempty"`
+	ReplicasHealthy   int    `json:"replicas_healthy,omitempty"`
+	ReplicasDegraded  int    `json:"replicas_degraded,omitempty"`
+	ReplicasEjected   int    `json:"replicas_ejected,omitempty"`
+	Ejections         int64  `json:"ejections,omitempty"`
+	HealthProbes      int64  `json:"health_probes,omitempty"`
+	Reinstatements    int64  `json:"reinstatements,omitempty"`
+	Resurrections     int64  `json:"resurrections,omitempty"`
+	RetryExhausted    int64  `json:"retry_exhausted,omitempty"`
+	StaleDigestRoutes int64  `json:"stale_digest_routes,omitempty"`
 
 	// WallSeconds is real elapsed time since the scheduler started (0
 	// before Start) — the denominator for wall-clock rates, which the
@@ -435,17 +496,38 @@ func (t *Ticket) Events() <-chan Event { return t.events }
 func (t *Ticket) Result() <-chan Result { return t.result }
 
 type call struct {
-	req        engine.Request
-	class      Class
-	ttftSLO    float64 // relative first-token deadline; 0 = none
-	preempts   int
-	handoffs   int     // replica transfers; written only by the call's current owner
+	req      engine.Request
+	class    Class
+	ttftSLO  float64 // relative first-token deadline; 0 = none
+	preempts int
+	handoffs int // replica transfers; written only by the call's current owner
+	// retries counts resurrections. Written by the health router;
+	// atomic because a late duplicate's deliver may read it while the
+	// router is resurrecting what it believes is a lost call.
+	retries atomic.Int32
+	backoff float64 // virtual-seconds arrival delay the next owner stamps
+	// clientID is the id the submitter's Ticket carries. Resurrection
+	// mints a fresh req.ID per attempt (idempotent delivery needs
+	// distinct scheduler ids), but every event and the Result report
+	// this stable handle.
+	clientID   int
 	admittedAt float64 // virtual time of the last admission
 	submitted  time.Time
-	done       atomic.Bool // set by finish; makes delivery idempotent
+	done       atomic.Bool // set by claim; makes delivery idempotent
 	events     chan Event
 	result     chan Result
+	evMu       sync.Mutex // serialises emit against closeEvents
+	evClosed   bool
 	ticket     Ticket // returned to the submitter; embedded to spare an allocation
+}
+
+// id is the client-visible request id: the Ticket's id once Submit
+// assigned one, the raw scheduler id for internally built calls.
+func (c *call) id() int {
+	if c.clientID != 0 {
+		return c.clientID
+	}
+	return c.req.ID
 }
 
 // deadline is the absolute virtual first-token deadline (+Inf without
@@ -458,27 +540,52 @@ func (c *call) deadline() float64 {
 }
 
 // emit sends a streaming event without ever blocking the scheduler.
+// Safe against a concurrent terminal delivery on another replica (a
+// resurrected duplicate finishing first closes the stream; the late
+// original's progress events must drop, not panic).
 func (c *call) emit(ev Event) {
-	ev.ID = c.req.ID
-	select {
-	case c.events <- ev:
-	default: // slow consumer: drop the progress event
+	ev.ID = c.id()
+	c.evMu.Lock()
+	if !c.evClosed {
+		select {
+		case c.events <- ev:
+		default: // slow consumer: drop the progress event
+		}
 	}
+	c.evMu.Unlock()
 }
 
-// finish delivers the final result (buffered, never blocks) and closes
-// the event stream. Idempotent: only the first delivery lands, so a
-// request served despite a duplicated handoff cannot double-close its
-// stream.
-func (c *call) finish(res Result) {
-	if !c.done.CompareAndSwap(false, true) {
-		return
-	}
-	res.ID = c.req.ID
+// claim wins the right to deliver the call's terminal outcome. Exactly
+// one claimant succeeds per request, however many replicas raced to
+// finish it — the idempotence that makes duplicated handoffs and
+// resurrected duplicates harmless. The winner must complete the
+// delivery with deliver; losers must touch neither the result channel
+// nor any completion counter.
+func (c *call) claim() bool { return c.done.CompareAndSwap(false, true) }
+
+// deliver completes a claimed terminal outcome: it stamps the
+// call-owned result fields, sends the Result (buffered, never blocks)
+// and closes the event stream. Call only after winning claim.
+func (c *call) deliver(res Result) {
+	res.ID = c.id()
 	res.Class = c.class
 	res.Preempted = c.preempts
 	res.Handoffs = c.handoffs
+	res.Resurrected = int(c.retries.Load())
 	res.WallDuration = time.Since(c.submitted)
 	c.result <- res
+	c.evMu.Lock()
+	c.evClosed = true
 	close(c.events)
+	c.evMu.Unlock()
+}
+
+// finish is claim+deliver in one step, reporting whether this caller
+// won the claim (and so whether the outcome should be counted).
+func (c *call) finish(res Result) bool {
+	if !c.claim() {
+		return false
+	}
+	c.deliver(res)
+	return true
 }

@@ -22,9 +22,24 @@ type Server struct {
 	submitCh chan *call
 	stop     chan struct{}
 	done     chan struct{}
+	// kill force-fails the drain: Stop closes it when its context
+	// expires, and the loop then abandons graceful draining, failing
+	// everything undelivered into Stats.Failed instead of serving it.
+	kill     chan struct{}
+	killOnce sync.Once
 
 	gate    sync.RWMutex // serialises Submit sends against Stop
 	stopped bool
+
+	// onDeath, installed by Router.EnableHealth before Start, receives
+	// the requests a dying replica lost (crash, hang-at-stop, dropped
+	// handoff) so the router can resurrect them on another replica.
+	// Nil means lost requests fail to the client.
+	onDeath func(from *Server, lost []*call)
+
+	// doneScratch carries this iteration's claimed completions from
+	// counting to delivery; scheduler goroutine only.
+	doneScratch []doneJob
 
 	// ids assigns request IDs. Private per server by default;
 	// NewPooledRouter points every pooled replica at one shared counter,
@@ -130,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		handoffCh: make(chan *handoff, cfg.QueueDepth),
 		ids:       new(atomic.Int64),
 		stop:      make(chan struct{}),
+		kill:      make(chan struct{}),
 		done:      make(chan struct{}),
 		// One backing array for the drain-rate window instead of a
 		// doubling cascade on the first completions.
@@ -211,8 +227,11 @@ func (s *Server) Start() {
 
 // Stop shuts the server down gracefully: new submissions are rejected
 // with ErrStopped immediately, while everything already queued or in
-// flight is served to completion. It returns when the scheduler has
-// drained or ctx expires.
+// flight is served to completion. When ctx expires (including a
+// context that is already expired on entry) the drain is force-failed
+// instead of abandoned: the scheduler promptly fails every undelivered
+// request — callers get their error, Stats.Failed counts them — and
+// Stop returns ctx.Err() once that accounting has landed.
 func (s *Server) Stop(ctx context.Context) error {
 	s.gate.Lock()
 	if !s.stopped {
@@ -220,12 +239,23 @@ func (s *Server) Stop(ctx context.Context) error {
 		close(s.stop)
 	}
 	s.gate.Unlock()
+	if s.startedAt.Load() == 0 {
+		// Never started: no scheduler goroutine will ever close done,
+		// and there is nothing queued to drain or fail.
+		return nil
+	}
 	select {
 	case <-s.done:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
 	}
+	// Deadline passed mid-drain: force-fail what is left. The loop
+	// observes kill at its next iteration edge (or idle wakeup), fails
+	// everything undelivered and exits; waiting for done here means the
+	// failure accounting is published before Stop returns.
+	s.killOnce.Do(func() { close(s.kill) })
+	<-s.done
+	return ctx.Err()
 }
 
 // Submit offers a request to the admission queue without blocking: it
@@ -264,14 +294,16 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		// schedule as top-priority interactive.
 		return nil, fmt.Errorf("serve: unknown request class %q", class)
 	}
+	id := int(s.ids.Add(1))
 	c := &call{
 		req: engine.Request{
-			ID:             int(s.ids.Add(1)),
+			ID:             id,
 			ArrivalSeconds: arrival,
 			PromptLen:      req.PromptLen,
 			OutputLen:      req.OutputLen,
 			Prompt:         req.Prompt,
 		},
+		clientID:  id,
 		class:     class,
 		ttftSLO:   req.TTFTDeadline,
 		submitted: time.Now(),
@@ -284,7 +316,7 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	if s.stopped {
 		return nil, ErrStopped
 	}
-	c.ticket = Ticket{ID: c.req.ID, events: c.events, result: c.result}
+	c.ticket = Ticket{ID: c.clientID, events: c.events, result: c.result}
 	select {
 	case s.submitCh <- c:
 		s.submitted.Add(1)
@@ -375,6 +407,16 @@ func (s *Server) loop() {
 			}
 		}
 	}
+	if f := s.cfg.Faults; f.active() {
+		// Scripted faults are pure functions of this replica's virtual
+		// clock (docs/robustness.md), so a chaos run replays
+		// bit-identically: slowdown dilates every step's virtual cost,
+		// and codec faults degrade cold-block freezes to plain parking.
+		sp.TimeDilation = f.slowFactorAt
+		if s.cfg.CompressedCache {
+			sp.SetCodecFault(func() bool { return f.codecFailingAt(sp.Clock()) })
+		}
+	}
 
 	// The pending queue and the admission view scratch are bounded by
 	// what the submit queue can feed them; one up-front backing array
@@ -393,6 +435,25 @@ func (s *Server) loop() {
 		wasIdle   bool
 	)
 	for {
+		// Force-fail check first: Stop's context expired, so the drain
+		// is abandoned — every undelivered request fails promptly.
+		select {
+		case <-s.kill:
+			s.failAll(pending, pendingHO, inflight, fmt.Errorf("%w: drain deadline exceeded", ErrStopped))
+			return
+		default:
+		}
+		// Scripted death next, on this replica's own virtual clock.
+		if f := s.cfg.Faults; f.active() {
+			if f.crashedAt(sp.Clock()) {
+				s.crash(pending, pendingHO, inflight)
+				return
+			}
+			if f.hungAt(sp.Clock()) {
+				s.hang(pending, pendingHO, inflight)
+				return
+			}
+		}
 		// Observe idleness before draining the channel: whatever the
 		// drain below (or the blocking select) picks up is then the
 		// first work of a fresh batch, eligible for the admission
@@ -415,6 +476,9 @@ func (s *Server) loop() {
 			case h := <-s.handoffCh:
 				pendingHO = append(pendingHO, h)
 				continue
+			case <-s.kill:
+				s.failAll(pending, pendingHO, inflight, fmt.Errorf("%w: drain deadline exceeded", ErrStopped))
+				return
 			case <-s.stop:
 				// Anything that raced past the gate before Stop is
 				// buffered; serve it before exiting.
@@ -461,14 +525,26 @@ func (s *Server) loop() {
 			s.failAll(pending, pendingHO, inflight, err)
 			return
 		}
+		// Claim each completion before counting it: a request that was
+		// resurrected elsewhere (or served through a duplicated handoff)
+		// may have been delivered by another replica already, and a lost
+		// claim means this copy's completion must not be counted or
+		// delivered a second time.
+		jobs := s.doneScratch[:0]
 		for _, m := range finished {
-			agg.complete(m)
+			c := inflight[m.ID]
+			delete(inflight, m.ID)
 			if s.core != nil {
 				s.core.runningRemove(m.ID)
 			}
+			if c == nil || !c.claim() {
+				continue
+			}
+			agg.complete(m)
+			jobs = append(jobs, doneJob{c: c, m: m})
 		}
-		if len(finished) > 0 {
-			s.noteCompletions(len(finished))
+		if len(jobs) > 0 {
+			s.noteCompletions(len(jobs))
 		}
 		// Close the admission epoch: the cache-sizing controller
 		// consumes this iteration's admission outcomes and resizes the
@@ -476,12 +552,11 @@ func (s *Server) loop() {
 		sp.AdaptEpoch()
 		// Publish before delivering results: a caller that has seen a
 		// request's Result must observe stats that include it.
-		s.publish(sp, len(pending)+s.core.len()+len(pendingHO), len(inflight)-len(finished), &agg)
-		for _, m := range finished {
-			c := inflight[m.ID]
-			delete(inflight, m.ID)
+		s.publish(sp, len(pending)+s.core.len()+len(pendingHO), len(inflight), &agg)
+		for i, j := range jobs {
+			c, m := j.c, j.m
 			c.emit(Event{Type: EventFinished, SimSeconds: m.Finished})
-			c.finish(Result{
+			c.deliver(Result{
 				PromptLen: c.req.PromptLen, OutputLen: c.req.OutputLen,
 				Arrival: m.Arrival, Admitted: m.Admitted,
 				FirstToken: m.FirstToken, Finished: m.Finished,
@@ -489,9 +564,18 @@ func (s *Server) loop() {
 				QueueWait: m.Admitted - m.Arrival, Latency: m.Latency,
 				CachedTokens: m.CachedTokens,
 			})
+			jobs[i].c = nil // do not pin delivered calls via the scratch
 		}
+		s.doneScratch = jobs[:0]
 		s.pace(prefillElapsed + decodeElapsed)
 	}
+}
+
+// doneJob pairs a claimed completion with its metrics between the
+// counting pass and the delivery pass of one iteration.
+type doneJob struct {
+	c *call
+	m engine.RequestMetrics
 }
 
 // pace sleeps this iteration's virtual step duration × TimeScale so
@@ -811,6 +895,25 @@ func (s *Server) dispatchHandoffs(sp *engine.Stepper, prefilled []engine.Request
 		if err != nil {
 			continue // finished during prefill; unreachable for OutputLen > 1
 		}
+		if s.cfg.Faults.takeDrop(sp.Clock()) {
+			// Scripted transfer loss: the export left this replica (the
+			// sequence and its blocks are gone from the stepper) and
+			// never arrives anywhere. The request is lost exactly like a
+			// crash victim's — resurrected by the health router when one
+			// is installed, failed to the client otherwise.
+			delete(inflight, m.ID)
+			if s.core != nil {
+				s.core.runningRemove(m.ID)
+			}
+			agg.handoffDrops++
+			agg.lost++
+			if s.onDeath != nil {
+				s.onDeath(s, []*call{c})
+			} else if c.finish(Result{Err: fmt.Errorf("%w: handoff transfer dropped", ErrStopped)}) {
+				agg.failed++
+			}
+			continue
+		}
 		bytes := exp.CompressedBytes()
 		c.handoffs++ // before dispatch: the new owner may finish immediately
 		if s.handoffFn(&handoff{exp: exp, c: c}) != nil {
@@ -923,7 +1026,12 @@ func (s *Server) drain(sp *engine.Stepper, pending []*call) []*call {
 // the pending slice (submission order) for the legacy linear path.
 func (s *Server) arrive(sp *engine.Stepper, pending []*call, c *call) []*call {
 	if c.req.ArrivalSeconds < 0 {
-		c.req.ArrivalSeconds = sp.Clock()
+		// A resurrected call carries a deterministic sim-time backoff
+		// (retry count × the router's RetryBackoff): it arrives that far
+		// into this replica's virtual future, so retries space out
+		// identically on every replay.
+		c.req.ArrivalSeconds = sp.Clock() + c.backoff
+		c.backoff = 0
 	}
 	if s.core != nil {
 		s.core.add(c)
@@ -945,6 +1053,9 @@ type aggregate struct {
 	handoffBytes    int64
 	handoffFailures int64
 	handoffImports  int64
+
+	lost         int64 // requests lost mid-loop (dropped handoffs)
+	handoffDrops int64 // scripted transfer losses
 }
 
 func (a *aggregate) complete(m engine.RequestMetrics) {
@@ -956,6 +1067,19 @@ func (a *aggregate) complete(m engine.RequestMetrics) {
 
 // publish copies a stats snapshot for concurrent readers.
 func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate) {
+	if s.cfg.Faults.statsStaleAt(sp.Clock()) {
+		// Scripted stats staleness: the snapshot stays frozen at its
+		// last published value — a router keeps ranking this replica on
+		// stale load and a stale prefix digest. Only the digest's age
+		// keeps advancing, which is precisely the signal affinity's
+		// MaxSummaryAge guard detects.
+		s.statsMu.Lock()
+		if s.stats.PrefixSummary != nil {
+			s.stats.SummaryAgeSeconds = sp.Clock() - s.lastSummaryClock
+		}
+		s.statsMu.Unlock()
+		return
+	}
 	st := Stats{
 		Completed:    agg.completed,
 		Failed:       agg.failed,
@@ -973,6 +1097,10 @@ func (s *Server) publish(sp *engine.Stepper, queued, active int, agg *aggregate)
 		HandoffBytes:    agg.handoffBytes,
 		HandoffFailures: agg.handoffFailures,
 		HandoffImports:  agg.handoffImports,
+
+		LostRequests:   agg.lost,
+		HandoffDrops:   agg.handoffDrops,
+		CodecFallbacks: sp.CodecFallbacks(),
 
 		SimSeconds:      sp.Clock(),
 		OutputTokens:    sp.OutputTokens(),
@@ -1072,10 +1200,9 @@ func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call
 	s.gate.Unlock()
 	var failed int64
 	fail := func(c *call) {
-		if !c.done.Load() {
+		if c.finish(Result{Err: err}) {
 			failed++ // delivered here, not a duplicate someone else finished
 		}
-		c.finish(Result{Err: err})
 	}
 	for {
 		select {
@@ -1101,5 +1228,125 @@ func (s *Server) failAll(pending []*call, hos []*handoff, inflight map[int]*call
 			s.statsMu.Unlock()
 			return
 		}
+	}
+}
+
+// crash is a scripted replica death (FaultCrash): the gate closes so
+// new submissions fail with ErrStopped, and every request this replica
+// held — queued, handed off to it, or mid-generation — is lost,
+// counted in Stats.LostRequests, and either handed to the health
+// router's resurrection hook or failed to the client. The scheduler
+// goroutine exits afterwards; a later Stop returns immediately.
+func (s *Server) crash(pending []*call, hos []*handoff, inflight map[int]*call) {
+	s.die(pending, hos, inflight, fmt.Errorf("%w: replica crashed", ErrStopped))
+}
+
+// hang is a scripted livelock (FaultHang): the scheduler stops making
+// progress but the replica stays up — submissions keep landing until
+// the queue fills, nothing completes, stats freeze. The stranded
+// requests are lost (resurrected or failed) only when the replica is
+// stopped, exactly like a real wedged process.
+func (s *Server) hang(pending []*call, hos []*handoff, inflight map[int]*call) {
+	select {
+	case <-s.stop:
+	case <-s.kill:
+	}
+	s.die(pending, hos, inflight, fmt.Errorf("%w: replica hung", ErrStopped))
+}
+
+// die closes the gate, collects every request the replica still holds
+// into a deterministic lost set, counts it into Stats.LostRequests and
+// routes it through loseCalls.
+func (s *Server) die(pending []*call, hos []*handoff, inflight map[int]*call, reason error) {
+	s.gate.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.gate.Unlock()
+	// Everything buffered raced past the gate before it closed; it
+	// goes down with the replica too.
+	for {
+		select {
+		case c := <-s.submitCh:
+			pending = append(pending, c)
+			continue
+		case h := <-s.handoffCh:
+			hos = append(hos, h)
+			continue
+		default:
+		}
+		break
+	}
+	lost := make([]*call, 0, len(pending)+len(inflight)+len(hos))
+	collect := func(c *call) {
+		if !c.done.Load() {
+			lost = append(lost, c)
+		}
+	}
+	for _, c := range pending {
+		collect(c)
+	}
+	if s.core != nil {
+		s.core.drainAll(collect)
+	}
+	for _, h := range hos {
+		collect(h.c)
+	}
+	for _, c := range inflight {
+		collect(c)
+	}
+	// Map iteration above is randomised; resurrection re-dispatches in
+	// this order, so sort by scheduler id to keep chaos replays
+	// bit-identical.
+	sort.Slice(lost, func(i, j int) bool { return lost[i].req.ID < lost[j].req.ID })
+	s.statsMu.Lock()
+	s.stats.LostRequests += int64(len(lost))
+	s.statsMu.Unlock()
+	s.loseCalls(lost, reason)
+}
+
+// loseCalls routes requests a dying replica cannot serve: to the
+// health router's resurrection hook when installed, to the client as
+// failures otherwise. Failures delivered here fold straight into the
+// published snapshot — the loop is exiting, no publish will follow.
+func (s *Server) loseCalls(lost []*call, err error) {
+	if len(lost) == 0 {
+		return
+	}
+	if s.onDeath != nil {
+		s.onDeath(s, lost)
+		return
+	}
+	var failed int64
+	for _, c := range lost {
+		if c.finish(Result{Err: err}) {
+			failed++
+		}
+	}
+	s.statsMu.Lock()
+	s.stats.Failed += failed
+	s.statsMu.Unlock()
+}
+
+// resubmit re-enqueues a request another replica lost: resurrection's
+// entry point, called by the health router. A fresh scheduler id is
+// minted from the (fleet-shared) counter so a late duplicate delivery
+// from the old owner stays harmless, and the arrival restamps at this
+// replica's live clock plus the call's deterministic backoff.
+func (s *Server) resubmit(c *call) error {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.stopped {
+		return ErrStopped
+	}
+	c.req.ID = int(s.ids.Add(1))
+	c.req.ArrivalSeconds = ArrivalNow
+	select {
+	case s.submitCh <- c:
+		s.submitted.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
 	}
 }

@@ -435,6 +435,46 @@ func NewPooledLiveRouter(servers ...*LiveServer) (*LiveRouter, error) {
 	return serve.NewPooledRouter(servers...)
 }
 
+// ---- Fault injection and health-aware routing ----
+
+// LiveFaultPlan is a deterministic fault-injection script: scripted
+// crashes, hangs, slowdowns, codec failures, handoff drops and stats
+// staleness, addressed to replicas by fleet index and triggered by each
+// replica's own virtual clock, so a chaos run replays bit-identically.
+// Project it per replica with Replica(i) into LiveConfig.Faults. See
+// docs/robustness.md for the plan DSL.
+type LiveFaultPlan = serve.FaultPlan
+
+// LiveFaultEvent is one scripted failure in a LiveFaultPlan.
+type LiveFaultEvent = serve.FaultEvent
+
+// LiveReplicaFaults is one replica's runtime projection of a fault
+// plan (LiveConfig.Faults). Never share one between servers.
+type LiveReplicaFaults = serve.ReplicaFaults
+
+// ParseLiveFaultPlan parses the fault-plan DSL (one directive per
+// line: `crash replica=1 at=0.5`, `slow replica=0 at=0 factor=8`, …).
+func ParseLiveFaultPlan(text string) (*LiveFaultPlan, error) {
+	return serve.ParseFaultPlan(text)
+}
+
+// RandomLiveFaultPlan generates a deterministic chaos plan from a seed
+// for an n-replica fleet with fault triggers inside [0, horizon).
+func RandomLiveFaultPlan(seed int64, n int, horizon float64) *LiveFaultPlan {
+	return serve.RandomFaultPlan(seed, n, horizon)
+}
+
+// LiveHealthConfig tunes a router's health state machine and retry
+// policy (LiveRouter.EnableHealth): per-replica breakers eject failing
+// replicas from dispatch, half-open probes re-admit them, and requests
+// lost to replica deaths resurrect elsewhere under a bounded retry
+// budget. The zero value selects defaults. See docs/robustness.md.
+type LiveHealthConfig = serve.HealthConfig
+
+// ErrLiveRetriesExhausted is delivered to a request whose resurrection
+// retry budget ran out before any replica could complete it.
+var ErrLiveRetriesExhausted = serve.ErrRetriesExhausted
+
 // ---- Warp-level divergence analysis (§3.2) ----
 
 // WarpReport summarises a lockstep warp execution.
